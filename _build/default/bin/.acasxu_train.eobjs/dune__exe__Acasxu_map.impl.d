@@ -1,0 +1,1 @@
+bin/acasxu_map.ml: Arg Cmd Cmdliner Float Fun List Printf String Term

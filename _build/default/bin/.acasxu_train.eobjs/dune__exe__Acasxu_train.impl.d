@@ -1,0 +1,1 @@
+bin/acasxu_train.ml: Arg Array Cmd Cmdliner Format List Nncs_acasxu Nncs_linalg Nncs_nn Printf Sys Term Unix

@@ -1,0 +1,1 @@
+bin/acasxu_train.mli:

@@ -1,0 +1,1 @@
+bin/acasxu_verify.ml: Arg Array Cmd Cmdliner Float List Nncs Nncs_acasxu Nncs_nnabs Printf Term

@@ -1,0 +1,122 @@
+(* Renders the Fig 9a safety map as an SVG: the ribbon of initial cells
+   (arcs of the sensor circle x heading sub-cells) coloured green when
+   proved safe, orange when partially proved after refinement, red when
+   not proved.  Reads the CSV written by acasxu_verify --csv. *)
+
+let read_csv path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      if header <> "index,arc,proved_fraction,elapsed_s" then
+        failwith (path ^ ": unexpected CSV header");
+      let rows = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ',' line with
+           | [ idx; arc; frac; _elapsed ] ->
+               rows :=
+                 (int_of_string idx, int_of_string arc, float_of_string frac)
+                 :: !rows
+           | _ -> failwith (path ^ ": malformed row: " ^ line)
+         done
+       with End_of_file -> ());
+      List.rev !rows)
+
+let colour fraction =
+  if fraction >= 1.0 -. 1e-9 then "#2e7d32" (* proved: green *)
+  else if fraction > 0.0 then "#ef6c00" (* partial: orange *)
+  else "#c62828" (* not proved: red *)
+
+let run csv_path arcs headings out =
+  let rows = read_csv csv_path in
+  if List.length rows <> arcs * headings then
+    Printf.eprintf
+      "warning: %d rows but arcs*headings = %d; pass matching --arcs/--headings\n"
+      (List.length rows) (arcs * headings);
+  let size = 760 in
+  let center = float_of_int size /. 2.0 in
+  let r_inner = 240.0 and r_outer = 360.0 in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n"
+    size size size size;
+  Printf.fprintf oc
+    "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" size size;
+  (* each cell: annular sector at the arc's bearing; the radial direction
+     indexes the heading sub-cell (inner = first heading of the cone) *)
+  List.iter
+    (fun (idx, arc, frac) ->
+      let h = idx mod headings in
+      let a0 = 2.0 *. Float.pi *. float_of_int arc /. float_of_int arcs in
+      let a1 = 2.0 *. Float.pi *. float_of_int (arc + 1) /. float_of_int arcs in
+      let rr0 =
+        r_inner
+        +. ((r_outer -. r_inner) *. float_of_int h /. float_of_int headings)
+      in
+      let rr1 =
+        r_inner
+        +. ((r_outer -. r_inner) *. float_of_int (h + 1) /. float_of_int headings)
+      in
+      (* screen y grows downwards: flip the sign of sin *)
+      let px r a = (center +. (r *. Float.cos a), center -. (r *. Float.sin a)) in
+      let x0, y0 = px rr0 a0 and x1, y1 = px rr1 a0 in
+      let x2, y2 = px rr1 a1 and x3, y3 = px rr0 a1 in
+      Printf.fprintf oc
+        "<path d=\"M%.1f %.1f L%.1f %.1f A%.1f %.1f 0 0 0 %.1f %.1f L%.1f \
+         %.1f A%.1f %.1f 0 0 1 %.1f %.1f Z\" fill=\"%s\" stroke=\"white\" \
+         stroke-width=\"0.5\"/>\n"
+        x0 y0 x1 y1 rr1 rr1 x2 y2 x3 y3 rr0 rr0 x0 y0 (colour frac))
+    rows;
+  (* ownship marker and legend *)
+  Printf.fprintf oc
+    "<circle cx=\"%.0f\" cy=\"%.0f\" r=\"6\" fill=\"black\"/>\n" center center;
+  Printf.fprintf oc
+    "<path d=\"M%.0f %.0f l-6 14 l6 -5 l6 5 Z\" fill=\"black\"/>\n" center
+    (center -. 24.0);
+  List.iteri
+    (fun i (c, label) ->
+      let y = 20 + (22 * i) in
+      Printf.fprintf oc
+        "<rect x=\"10\" y=\"%d\" width=\"14\" height=\"14\" fill=\"%s\"/>\n\
+         <text x=\"30\" y=\"%d\" font-family=\"sans-serif\" font-size=\"14\">%s</text>\n"
+        y c (y + 12) label)
+    [
+      ("#2e7d32", "proved safe");
+      ("#ef6c00", "partially proved (after refinement)");
+      ("#c62828", "not proved");
+    ];
+  Printf.fprintf oc
+    "<text x=\"%.0f\" y=\"%d\" font-family=\"sans-serif\" font-size=\"13\" \
+     text-anchor=\"middle\">radial direction = heading within the entry \
+     cone</text>\n"
+    center (size - 12);
+  output_string oc "</svg>\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d cells)\n" out (List.length rows);
+  0
+
+open Cmdliner
+
+let csv =
+  Arg.(
+    value & opt string "results_main.csv"
+    & info [ "csv" ] ~doc:"Input CSV from acasxu_verify.")
+
+let arcs = Arg.(value & opt int 36 & info [ "arcs" ] ~doc:"Arcs used in the run.")
+
+let headings =
+  Arg.(value & opt int 10 & info [ "headings" ] ~doc:"Headings used in the run.")
+
+let out =
+  Arg.(value & opt string "fig9a.svg" & info [ "out" ] ~doc:"Output SVG path.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "acasxu_map" ~doc:"Render the Fig 9a safety map as SVG")
+    Term.(const run $ csv $ arcs $ headings $ out)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/acasxu_demo.ml: Array Command Concrete Format List Nncs Nncs_acasxu Nncs_interval Printf Reach Symset Symstate Unix

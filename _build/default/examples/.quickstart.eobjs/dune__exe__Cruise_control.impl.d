@@ -1,0 +1,1 @@
+examples/cruise_control.ml: Array Command Concrete Controller Float Format List Nncs Nncs_interval Nncs_linalg Nncs_nn Nncs_ode Partition Printf Reach Spec Symstate System Verify

@@ -1,0 +1,1 @@
+examples/falsify_demo.ml: Array Command Concrete Float Format List Nncs Nncs_acasxu Nncs_baseline Nncs_interval Reach Symset Symstate Unix

@@ -1,0 +1,1 @@
+examples/falsify_demo.mli:

@@ -1,0 +1,1 @@
+examples/monitor_demo.ml: Array Command Concrete Filename Float Format List Monitor Nncs Nncs_acasxu Nncs_interval Nncs_ode Sys System Verify

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Command Concrete Controller Format List Nncs Nncs_interval Nncs_linalg Nncs_nn Nncs_ode Printf Reach Spec Symset Symstate System

@@ -1,0 +1,1 @@
+examples/two_aircraft.ml: Array Command Concrete Controller Float Format List Nncs Nncs_acasxu Printf Reach Symset Symstate System Unix

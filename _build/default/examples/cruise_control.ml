@@ -1,0 +1,139 @@
+(* Adaptive cruise control: a following car chooses among three
+   acceleration levels from (gap, relative speed) through a trained ReLU
+   network; the lead car drives at constant speed.  The command set is
+   deliberately coarse ({-2, 0, +2} m/s^2): with finely-spaced commands
+   the argmin ties between neighbouring levels make the abstract
+   controller branch at every step, and the command uncertainty
+   integrates without bound in this double-integrator plant — a nice
+   illustration of how command granularity interacts with the paper's
+   symbolic-state abstraction.
+
+   Plant state: (gap d in m, relative speed dv = v_lead - v_ego in m/s),
+   dynamics d' = dv, dv' = -u (u = ego acceleration command).  The expert
+   being cloned is a classic spacing law: accelerate when the gap exceeds
+   the desired headway, brake when below.  We prove that from gaps of
+   40-60 m at matched speeds (|dv| <= 2 m/s) the follower never closes
+   within 5 m of the leader (E) and provably reaches the settled band
+   around the 30 m desired gap (T).
+
+   This is the third domain-specific example (aside ACAS Xu and the
+   pendulum), matching the self-driving motivation of the paper's
+   introduction.
+
+   Run with: dune exec examples/cruise_control.exe *)
+
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module E = Nncs_ode.Expr
+module Net = Nncs_nn.Network
+module Rng = Nncs_linalg.Rng
+module Dataset = Nncs_nn.Dataset
+module Train = Nncs_nn.Train
+open Nncs
+
+let desired_gap = 30.0
+let accelerations = [| -2.0; 0.0; 2.0 |]
+(* command u is the EGO acceleration; dv' = -u *)
+
+let period = 0.5
+let horizon = 40
+
+let plant =
+  Nncs_ode.Ode.make ~dim:2 ~input_dim:1 E.[| state 1; neg (input 0) |]
+
+let commands =
+  Command.make
+    ~names:(Array.map (Printf.sprintf "%+.0f m/s2") accelerations)
+    (Array.map (fun a -> [| a |]) accelerations)
+
+(* expert spacing law: u* = 0.5 (d - desired) + 1.6 dv, clamped *)
+let expert_scores s =
+  let u_star =
+    Float.max (-2.0)
+      (Float.min 2.0 ((0.5 *. (s.(0) -. desired_gap)) +. (1.6 *. s.(1))))
+  in
+  Array.map
+    (fun a ->
+      let e = a -. u_star in
+      0.05 *. e *. e)
+    accelerations
+
+(* normalise the two inputs to comparable ranges for the network *)
+let pre s = [| s.(0) /. 90.0; s.(1) /. 8.0 |]
+
+let pre_abs box =
+  B.of_intervals
+    [|
+      I.mul_float (1.0 /. 90.0) (B.get box 0);
+      I.mul_float (1.0 /. 8.0) (B.get box 1);
+    |]
+
+(* the expert reads raw coordinates; the network is trained on the
+   normalised scale, so compose with the inverse of [pre] *)
+let expert_scores_normalised x = expert_scores [| x.(0) *. 90.0; x.(1) *. 8.0 |]
+
+let train_network () =
+  let rng = Rng.create 314 in
+  let data =
+    Dataset.of_function ~rng ~n:6000 ~lo:[| 0.0; -1.0 |] ~hi:[| 1.0; 1.0 |]
+      expert_scores_normalised
+  in
+  let train, validation = Dataset.split ~rng ~fraction:0.9 data in
+  let net = Net.create_mlp ~rng ~layer_sizes:[ 2; 24; 24; 3 ] in
+  let trained, report =
+    Train.fit
+      ~config:{ Train.default_config with epochs = 60; learning_rate = 2e-3 }
+      ~rng ~net ~train ~validation ()
+  in
+  Format.printf "trained ACC network: val mse %.5f, argmin agreement %.1f%%@."
+    report.Train.final_val_mse
+    (100.0 *. Dataset.classification_accuracy trained validation);
+  trained
+
+let target =
+  Spec.make ~name:"settled-gap"
+    ~contains_box:(fun st ->
+      let d = B.get st.Symstate.box 0 and dv = B.get st.Symstate.box 1 in
+      I.lo d > 22.0 && I.hi d < 38.0 && I.hi (I.abs dv) < 3.5)
+    ~intersects_box:(fun st ->
+      let d = B.get st.Symstate.box 0 and dv = B.get st.Symstate.box 1 in
+      I.hi d > 22.0 && I.lo d < 38.0 && I.mig dv < 3.5)
+    ~contains_point:(fun s _ ->
+      s.(0) > 22.0 && s.(0) < 38.0 && Float.abs s.(1) < 3.5)
+
+let system net =
+  System.make ~plant
+    ~controller:
+      (Controller.make ~period ~commands ~networks:[| net |]
+         ~select:(fun _ -> 0)
+         ~pre ~pre_abs ~post:Controller.argmin_post
+         ~post_abs:Controller.argmin_post_abs ())
+    ~erroneous:(Spec.coord_lt ~name:"too-close" ~dim:0 ~bound:5.0)
+    ~target ~horizon_steps:horizon
+
+let () =
+  let net = train_network () in
+  let sys = system net in
+  let trace = Concrete.simulate sys ~init_state:[| 55.0; 0.0 |] ~init_cmd:1 in
+  Format.printf "concrete run from gap 55 m: %s@."
+    (match trace.Concrete.termination with
+    | Concrete.Terminated t -> Printf.sprintf "settled at t = %.1f s" t
+    | Concrete.Hit_error t -> Printf.sprintf "TOO CLOSE at t = %.1f s" t
+    | Concrete.Horizon_end -> "not settled within the horizon");
+  let cells =
+    Partition.with_command 1
+      (Partition.grid (B.of_bounds [| (40.0, 60.0); (-2.0, 2.0) |]) ~cells:[| 10; 4 |])
+  in
+  Format.printf "verifying %d initial cells...@." (List.length cells);
+  let config =
+    {
+      Verify.default_config with
+      reach = { Reach.default_config with keep_sets = false; gamma = 20 };
+      strategy = Verify.All_dims [ 0; 1 ];
+      max_depth = 1;
+    }
+  in
+  let report = Verify.verify_partition ~config sys cells in
+  Format.printf "proved %d/%d cells, coverage %.1f%% (%.1f s)@."
+    report.Verify.proved_cells report.Verify.total_cells
+    report.Verify.coverage report.Verify.elapsed

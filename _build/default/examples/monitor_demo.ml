@@ -1,0 +1,81 @@
+(* Run-time safety monitoring (suggested by the paper in Section 7.2):
+   use the verification report to build a monitor that accepts exactly
+   the initial states proved safe; at run time, an encounter starting
+   outside the proved region triggers a fallback policy (here: an
+   immediate strong turn away from the intruder) instead of trusting the
+   networks.
+
+   Run with: dune exec examples/monitor_demo.exe *)
+
+module B = Nncs_interval.Box
+module S = Nncs_acasxu.Scenario
+module T = Nncs_acasxu.Training
+module D = Nncs_acasxu.Defs
+module Dyn = Nncs_acasxu.Dynamics
+open Nncs
+
+let metric s = sqrt ((s.(0) *. s.(0)) +. (s.(1) *. s.(1)))
+
+(* conservative fallback: strong turn putting the intruder behind *)
+let fallback_policy s =
+  let _, theta = Dyn.rho_theta ~x:s.(D.ix) ~y:s.(D.iy) in
+  if theta >= 0.0 then D.index D.Strong_right else D.index D.Strong_left
+
+let simulate_with_fallback sys s0 =
+  (* concrete closed loop where the command is forced by the fallback *)
+  let plant = sys.System.plant in
+  let s = ref (Array.copy s0) and cmd = ref (D.index D.Coc) in
+  let min_rho = ref (metric s0) in
+  for j = 0 to D.horizon_steps - 1 do
+    let next = fallback_policy !s in
+    let u = Command.value D.commands !cmd in
+    for i = 0 to 9 do
+      s :=
+        Nncs_ode.Ode.rk4_step plant
+          ~time:(float_of_int j +. (0.1 *. float_of_int i))
+          ~state:!s ~inputs:u ~h:0.1;
+      min_rho := Float.min !min_rho (metric !s)
+    done;
+    cmd := next
+  done;
+  !min_rho
+
+let () =
+  let _, networks = T.load_or_train ~dir:"data" () in
+  let sys = S.system ~networks () in
+  (* a small verification campaign over a front-sector band *)
+  let cells =
+    List.map snd (S.initial_cells ~arcs:36 ~headings:8 ~arc_indices:[ 8; 9 ] ())
+  in
+  Format.printf "verifying %d cells to build the monitor...@." (List.length cells);
+  let config = { Verify.default_config with max_depth = 1 } in
+  let report = Verify.verify_partition ~config sys cells in
+  let monitor = Monitor.of_report report cells in
+  Format.printf "monitor: %d proved cells (coverage %.1f%%)@."
+    (Monitor.proved_cell_count monitor)
+    report.Verify.coverage;
+  (* persistence round trip, as a deployed monitor would be shipped *)
+  let path = Filename.temp_file "nncs_monitor" ".txt" in
+  Monitor.save monitor path;
+  let monitor = Monitor.load path in
+  Sys.remove path;
+  (* run encounters through the gate *)
+  Format.printf "@.%10s %10s %12s %14s@." "bearing" "heading" "controller"
+    "miss (ft)";
+  let bearing = S.arc_center_angle ~arcs:36 8 in
+  List.iteri
+    (fun k () ->
+      let lo, hi = S.heading_cone ~bearing in
+      let heading = lo +. ((hi -. lo) *. (float_of_int k +. 0.5) /. 6.0) in
+      let s0 = S.initial_state ~bearing ~heading in
+      let trusted = Monitor.accepts monitor ~state:s0 ~cmd:(D.index D.Coc) in
+      let miss =
+        if trusted then
+          Concrete.min_erroneous_distance ~metric
+            (Concrete.simulate sys ~init_state:s0 ~init_cmd:(D.index D.Coc))
+        else simulate_with_fallback sys s0
+      in
+      Format.printf "%10.2f %10.2f %12s %14.0f@." bearing heading
+        (if trusted then "networks" else "FALLBACK")
+        miss)
+    (List.init 6 (fun _ -> ()))

@@ -1,0 +1,135 @@
+(* Inverted pendulum stabilised by a learned neural-network controller.
+
+   Plant (2-d, nonlinear): theta' = omega, omega' = sin(theta) - d*omega + u
+   (unit mass/length, gravity normalised to 1, small damping d).  The
+   commands are five torque levels.  The controller network is trained
+   here, by behavioural cloning of a linear state-feedback law
+   u* = -k1*theta - k2*omega: the network maps (theta, omega) to one
+   score per torque level, the squared distance to u*, so its argmin
+   picks the closest available torque — the same score-and-argmin shape
+   as the ACAS Xu controller.
+
+   We then *prove* with the reachability analysis a practical-stability
+   property: from any initial angle in [0.20, 0.30] rad (omega in
+   [-0.05, 0.05]) the closed loop never leaves |theta| < 0.7 rad and
+   enters the target ball (|theta| < 0.15, |omega| < 0.35) within the
+   horizon.  The target is deliberately the "settled" ball rather than a
+   tight equilibrium box: near the equilibrium the argmin controller
+   chatters between torque levels, which makes the symbolic set straddle
+   several commands and the box over-approximation grow — the same
+   precision limit the paper works around with Gamma joins and split
+   refinement.
+
+   Run with: dune exec examples/pendulum.exe *)
+
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module E = Nncs_ode.Expr
+module Net = Nncs_nn.Network
+module Rng = Nncs_linalg.Rng
+module Dataset = Nncs_nn.Dataset
+module Train = Nncs_nn.Train
+open Nncs
+
+let damping = 0.4
+let torques = [| -2.0; -1.0; 0.0; 1.0; 2.0 |]
+let k1 = 3.0
+let k2 = 2.5
+let period = 0.1
+let horizon = 25
+
+let plant =
+  Nncs_ode.Ode.make ~dim:2 ~input_dim:1
+    E.[| state 1; sin (state 0) - scale damping (state 1) + input 0 |]
+
+let commands =
+  Command.make
+    ~names:(Array.map (Printf.sprintf "%+.1f") torques)
+    (Array.map (fun t -> [| t |]) torques)
+
+(* the expert: distance of each available torque to the LQR command *)
+let expert_scores s =
+  let u_star = (-.k1 *. s.(0)) -. (k2 *. s.(1)) in
+  Array.map
+    (fun t ->
+      let d = t -. u_star in
+      0.1 *. d *. d)
+    torques
+
+let train_controller_network () =
+  let rng = Rng.create 42 in
+  let data =
+    Dataset.of_function ~rng ~n:6000 ~lo:[| -0.9; -1.5 |] ~hi:[| 0.9; 1.5 |]
+      expert_scores
+  in
+  let train, validation = Dataset.split ~rng ~fraction:0.9 data in
+  let net = Net.create_mlp ~rng ~layer_sizes:[ 2; 24; 24; 5 ] in
+  let trained, report =
+    Train.fit
+      ~config:{ Train.default_config with epochs = 60; learning_rate = 2e-3 }
+      ~rng ~net ~train ~validation ()
+  in
+  Format.printf "trained controller: val mse %.5f, argmin agreement %.1f%%@."
+    report.Train.final_val_mse
+    (100.0 *. Dataset.classification_accuracy trained validation);
+  trained
+
+(* target region: a small box around the upright equilibrium *)
+let target =
+  Spec.make ~name:"settled"
+    ~contains_box:(fun st ->
+      let th = B.get st.Symstate.box 0 and om = B.get st.Symstate.box 1 in
+      I.hi (I.abs th) < 0.15 && I.hi (I.abs om) < 0.35)
+    ~intersects_box:(fun st ->
+      let th = B.get st.Symstate.box 0 and om = B.get st.Symstate.box 1 in
+      I.mig th < 0.15 && I.mig om < 0.35)
+    ~contains_point:(fun s _ -> Float.abs s.(0) < 0.15 && Float.abs s.(1) < 0.35)
+
+let system net =
+  System.make ~plant
+    ~controller:
+      (Controller.make ~period ~commands ~networks:[| net |]
+         ~select:(fun _ -> 0)
+         ~pre:Controller.identity_pre ~pre_abs:Controller.identity_pre_abs
+         ~post:Controller.argmin_post ~post_abs:Controller.argmin_post_abs ())
+    ~erroneous:(Spec.outside_interval ~name:"fell" ~dim:0 ~lo:(-0.7) ~hi:0.7)
+    ~target ~horizon_steps:horizon
+
+let () =
+  let net = train_controller_network () in
+  let sys = system net in
+  (* concrete sanity run *)
+  let trace = Concrete.simulate sys ~init_state:[| 0.25; 0.0 |] ~init_cmd:2 in
+  Format.printf "concrete run from theta0 = 0.25: %s@."
+    (match trace.Concrete.termination with
+    | Concrete.Terminated t -> Printf.sprintf "settled at t = %.1f s" t
+    | Concrete.Hit_error t -> Printf.sprintf "FELL at t = %.1f s" t
+    | Concrete.Horizon_end -> "not settled within the horizon");
+  (* verification over the whole initial box, split into cells *)
+  let cells =
+    Partition.with_command 2
+      (Partition.grid
+         (B.of_bounds [| (0.20, 0.30); (-0.05, 0.05) |])
+         ~cells:[| 4; 2 |])
+  in
+  Format.printf "@.verifying %d initial cells...@." (List.length cells);
+  let config =
+    {
+      Verify.default_config with
+      Verify.reach = { Reach.default_config with keep_sets = false; gamma = 40 };
+      strategy = Verify.All_dims [ 0; 1 ];
+      max_depth = 2;
+    }
+  in
+  let report = Verify.verify_partition ~config sys cells in
+  List.iter
+    (fun (c : Verify.cell_report) ->
+      let leaf = List.hd c.Verify.leaves in
+      ignore leaf;
+      Format.printf "  cell %d: %s (%.2f s)@." c.Verify.index
+        (if c.Verify.proved_fraction >= 1.0 then "proved safe"
+         else Printf.sprintf "%.0f%% proved" (100.0 *. c.Verify.proved_fraction))
+        c.Verify.elapsed)
+    report.Verify.cells;
+  Format.printf "coverage: %.1f%% of the initial set proved safe@."
+    report.Verify.coverage

@@ -1,0 +1,85 @@
+(* Quickstart: verify a tiny neural-network controlled system end to end.
+
+   The system: a one-dimensional "docking" plant x' = u approaching the
+   origin from x in [1, 2].  The controller runs every 0.5 s; a
+   hand-written ReLU network scores the two available speeds (-1, -0.5)
+   so that the argmin picks the fast speed far from the origin and the
+   slow one close to it.  Safety: never overshoot into x > 4 (erroneous
+   set E); mission complete when x < 0.2 (target set T).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module E = Nncs_ode.Expr
+module Net = Nncs_nn.Network
+module Act = Nncs_nn.Activation
+module Mat = Nncs_linalg.Mat
+open Nncs
+
+(* 1. the plant: x' = u, described as one expression per dimension *)
+let plant = Nncs_ode.Ode.make ~dim:1 ~input_dim:1 [| E.input 0 |]
+
+(* 2. the finite command set U *)
+let commands = Command.make ~names:[| "fast"; "slow" |] [| [| -1.0 |]; [| -0.5 |] |]
+
+(* 3. the network: one affine layer computing scores (1 - x, x - 1);
+   argmin(1 - x, x - 1) = "fast" iff x > 1 *)
+let network =
+  let layer =
+    {
+      Net.weights = Mat.init 2 1 (fun i _ -> [| -1.0; 1.0 |].(i));
+      biases = [| 1.0; -1.0 |];
+      activation = Act.Linear;
+    }
+  in
+  Net.make ~input_dim:1 [| layer |]
+
+(* 4. the controller: identity pre-processing, argmin post-processing,
+   a single network for every previous command *)
+let controller =
+  Controller.make ~period:0.5 ~commands ~networks:[| network |]
+    ~select:(fun _prev -> 0)
+    ~pre:Controller.identity_pre ~pre_abs:Controller.identity_pre_abs
+    ~post:Controller.argmin_post ~post_abs:Controller.argmin_post_abs ()
+
+(* 5. the closed loop with its specification *)
+let system =
+  System.make ~plant ~controller
+    ~erroneous:(Spec.coord_gt ~name:"overshoot" ~dim:0 ~bound:4.0)
+    ~target:(Spec.coord_lt ~name:"docked" ~dim:0 ~bound:0.2)
+    ~horizon_steps:10
+
+let () =
+  (* 6. reachability from the initial symbolic set {([1,2], fast)} *)
+  let r0 = Symset.of_list [ Symstate.make (B.of_bounds [| (1.0, 2.0) |]) 0 ] in
+  let result = Reach.analyze system r0 in
+  Format.printf "verdict: %s@."
+    (match result.Reach.outcome with
+    | Reach.Proved_safe -> "PROVED SAFE (terminates, never reaches E)"
+    | Reach.Reached_error { step } ->
+        Printf.sprintf "NOT PROVED (over-approximation touches E at step %d)" step
+    | Reach.Horizon_exhausted -> "NOT PROVED (termination not established)");
+  (match result.Reach.terminated_at with
+  | Some j -> Format.printf "termination detected at t = %.1f s@." (0.5 *. float_of_int j)
+  | None -> ());
+  (* 7. inspect the reachable tube step by step *)
+  Format.printf "@.reachable states per control step:@.";
+  List.iter
+    (fun sr ->
+      match Symset.hull_box sr.Reach.flow with
+      | Some h ->
+          Format.printf "  t in [%.1f, %.1f): x in %a  (%d symbolic states)@."
+            (0.5 *. float_of_int sr.Reach.step)
+            (0.5 *. float_of_int (sr.Reach.step + 1))
+            I.pp (B.get h 0)
+            (Symset.length sr.Reach.flow)
+      | None -> ())
+    result.Reach.steps;
+  (* 8. cross-check with a concrete simulation *)
+  let trace = Concrete.simulate system ~init_state:[| 1.7 |] ~init_cmd:0 in
+  Format.printf "@.concrete run from x0 = 1.7: %s@."
+    (match trace.Concrete.termination with
+    | Concrete.Terminated t -> Printf.sprintf "docked at t = %.2f s" t
+    | Concrete.Hit_error t -> Printf.sprintf "ERROR at t = %.2f s" t
+    | Concrete.Horizon_end -> "still moving at the horizon")

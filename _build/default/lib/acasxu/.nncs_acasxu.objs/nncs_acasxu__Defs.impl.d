@@ -1,0 +1,1 @@
+lib/acasxu/defs.ml: Array Float Nncs Printf

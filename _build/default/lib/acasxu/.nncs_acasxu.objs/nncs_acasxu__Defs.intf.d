@@ -1,0 +1,1 @@
+lib/acasxu/defs.mli: Nncs

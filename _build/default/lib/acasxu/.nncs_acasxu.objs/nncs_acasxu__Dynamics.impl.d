@@ -1,0 +1,1 @@
+lib/acasxu/dynamics.ml: Array Defs Float Nncs_interval Nncs_ode

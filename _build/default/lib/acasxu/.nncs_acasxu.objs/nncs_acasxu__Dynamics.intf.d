@@ -1,0 +1,1 @@
+lib/acasxu/dynamics.mli: Nncs_interval Nncs_ode

@@ -1,0 +1,1 @@
+lib/acasxu/multi_agent.ml: Array Defs Dynamics Float Nncs Nncs_interval Nncs_ode Scenario

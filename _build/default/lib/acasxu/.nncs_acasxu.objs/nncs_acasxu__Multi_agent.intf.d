@@ -1,0 +1,1 @@
+lib/acasxu/multi_agent.mli: Nncs Nncs_interval Nncs_nn Nncs_ode

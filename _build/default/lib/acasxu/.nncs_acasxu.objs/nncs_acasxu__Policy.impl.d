@@ -1,0 +1,1 @@
+lib/acasxu/policy.ml: Array Defs Dynamics Float Fun Marshal

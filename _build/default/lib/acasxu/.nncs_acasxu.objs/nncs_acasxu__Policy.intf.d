@@ -1,0 +1,1 @@
+lib/acasxu/policy.mli:

@@ -1,0 +1,1 @@
+lib/acasxu/scenario.ml: Array Defs Dynamics Float Fun List Nncs Nncs_interval

@@ -1,0 +1,1 @@
+lib/acasxu/scenario.mli: Nncs Nncs_nn Nncs_nnabs

@@ -1,0 +1,1 @@
+lib/acasxu/training.ml: Array Defs Dynamics Filename Float Nncs_linalg Nncs_nn Policy Printf Sys

@@ -1,0 +1,1 @@
+lib/acasxu/training.mli: Nncs_linalg Nncs_nn Policy

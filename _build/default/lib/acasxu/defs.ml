@@ -1,0 +1,53 @@
+type advisory = Coc | Weak_left | Weak_right | Strong_left | Strong_right
+
+let advisories = [| Coc; Weak_left; Weak_right; Strong_left; Strong_right |]
+
+let index = function
+  | Coc -> 0
+  | Weak_left -> 1
+  | Weak_right -> 2
+  | Strong_left -> 3
+  | Strong_right -> 4
+
+let of_index = function
+  | 0 -> Coc
+  | 1 -> Weak_left
+  | 2 -> Weak_right
+  | 3 -> Strong_left
+  | 4 -> Strong_right
+  | i -> invalid_arg (Printf.sprintf "Defs.of_index: %d" i)
+
+let name = function
+  | Coc -> "COC"
+  | Weak_left -> "WL"
+  | Weak_right -> "WR"
+  | Strong_left -> "SL"
+  | Strong_right -> "SR"
+
+let turn_rate_deg = function
+  | Coc -> 0.0
+  | Weak_left -> 1.5
+  | Weak_right -> -1.5
+  | Strong_left -> 3.0
+  | Strong_right -> -3.0
+
+let deg = Float.pi /. 180.0
+let turn_rate_rad a = turn_rate_deg a *. deg
+
+let commands =
+  Nncs.Command.make
+    ~names:(Array.map name advisories)
+    (Array.map (fun a -> [| turn_rate_rad a |]) advisories)
+
+let sensor_range_ft = 8000.0
+let collision_radius_ft = 500.0
+let v_own_fps = 700.0
+let v_int_fps = 600.0
+let period_s = 1.0
+let horizon_steps = 20
+let ix = 0
+let iy = 1
+let ipsi = 2
+let ivown = 3
+let ivint = 4
+let state_dim = 5

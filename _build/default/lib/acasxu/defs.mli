@@ -1,0 +1,46 @@
+(** Constants and advisory definitions of the ACAS Xu use case
+    (Section 3 and Example 1 of the paper). *)
+
+type advisory = Coc | Weak_left | Weak_right | Strong_left | Strong_right
+
+val advisories : advisory array
+(** In command-set order: COC, WL, WR, SL, SR (indices 0..4). *)
+
+val index : advisory -> int
+val of_index : int -> advisory
+val name : advisory -> string
+
+val turn_rate_deg : advisory -> float
+(** Ownship turn rate in degrees per second (counter-clockwise
+    positive): 0, +1.5, -1.5, +3, -3. *)
+
+val turn_rate_rad : advisory -> float
+val commands : Nncs.Command.set
+(** The command set U: the five turn rates (rad/s), named. *)
+
+val sensor_range_ft : float
+(** r = 8000 ft: radius of the circle R of initial intruder positions. *)
+
+val collision_radius_ft : float
+(** 500 ft: the near-mid-air-collision cylinder. *)
+
+val v_own_fps : float
+(** 700 ft/s. *)
+
+val v_int_fps : float
+(** 600 ft/s. *)
+
+val period_s : float
+(** T = 1 s. *)
+
+val horizon_steps : int
+(** q = 20 control steps: tau = 20 s. *)
+
+(** {1 State vector layout}: s = (x, y, psi, v_own, v_int) *)
+
+val ix : int
+val iy : int
+val ipsi : int
+val ivown : int
+val ivint : int
+val state_dim : int

@@ -1,0 +1,60 @@
+module E = Nncs_ode.Expr
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+
+let plant =
+  let open E in
+  Nncs_ode.Ode.make ~dim:Defs.state_dim ~input_dim:1
+    [|
+      (* x' = -v_int sin(psi) + u y *)
+      neg (state Defs.ivint * sin (state Defs.ipsi)) + (input 0 * state Defs.iy);
+      (* y' = v_int cos(psi) - v_own - u x *)
+      (state Defs.ivint * cos (state Defs.ipsi))
+      - state Defs.ivown
+      - (input 0 * state Defs.ix);
+      (* psi' = -u *)
+      neg (input 0);
+      const 0.0;
+      const 0.0;
+    |]
+
+let rho_theta ~x ~y =
+  let rho = sqrt ((x *. x) +. (y *. y)) in
+  (* bearing from the +y (heading) axis, counter-clockwise: a point on
+     the left (x < 0) has positive bearing *)
+  let theta = Float.atan2 (-.x) y in
+  (rho, theta)
+
+let wrap_angle a =
+  let two_pi = 2.0 *. Float.pi in
+  let r = Float.rem (a +. Float.pi) two_pi in
+  let r = if r <= 0.0 then r +. two_pi else r in
+  r -. Float.pi
+
+(* normalisation used for network inputs *)
+let norm_rho = Defs.sensor_range_ft
+let norm_angle = Float.pi
+let norm_v = 1000.0
+
+let pre s =
+  let rho, theta = rho_theta ~x:s.(Defs.ix) ~y:s.(Defs.iy) in
+  [|
+    rho /. norm_rho;
+    theta /. norm_angle;
+    s.(Defs.ipsi) /. norm_angle;
+    s.(Defs.ivown) /. norm_v;
+    s.(Defs.ivint) /. norm_v;
+  |]
+
+let pre_abs box =
+  let x = B.get box Defs.ix and y = B.get box Defs.iy in
+  let rho = I.sqrt (I.add (I.sqr x) (I.sqr y)) in
+  let theta = I.atan2 (I.neg x) y in
+  B.of_intervals
+    [|
+      I.mul_float (1.0 /. norm_rho) rho;
+      I.mul_float (1.0 /. norm_angle) theta;
+      I.mul_float (1.0 /. norm_angle) (B.get box Defs.ipsi);
+      I.mul_float (1.0 /. norm_v) (B.get box Defs.ivown);
+      I.mul_float (1.0 /. norm_v) (B.get box Defs.ivint);
+    |]

@@ -1,0 +1,32 @@
+(** The 2D kinematic plant of Example 2 (Fig. 3): ownship + intruder in
+    ownship-centred relative coordinates, ownship heading along +y.
+
+    State s = (x, y, psi, v_own, v_int); command u = ownship turn rate
+    (rad/s, counter-clockwise):
+    {v
+      x'     = -v_int * sin(psi) + u * y
+      y'     =  v_int * cos(psi) - v_own - u * x
+      psi'   = -u
+      v_own' = 0
+      v_int' = 0
+    v}
+    The intruder keeps constant heading and velocity; a positive x is to
+    the ownship's right. *)
+
+val plant : Nncs_ode.Ode.system
+
+val pre : float array -> float array
+(** The controller pre-processing: cartesian to cylindrical
+    (rho, theta) plus normalisation — network input
+    (rho/r, theta/pi, psi/pi, vown/1000, vint/1000). *)
+
+val pre_abs : Nncs_interval.Box.t -> Nncs_interval.Box.t
+(** Sound interval counterpart of {!pre} (Pre#). *)
+
+val rho_theta : x:float -> y:float -> float * float
+(** rho = distance to intruder, theta = bearing of the intruder relative
+    to the ownship heading (counter-clockwise, so a target on the left
+    has positive theta). *)
+
+val wrap_angle : float -> float
+(** Wrap to (-pi, pi]. *)

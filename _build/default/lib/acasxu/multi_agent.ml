@@ -1,0 +1,72 @@
+module E = Nncs_ode.Expr
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+
+let speed_fps = 700.0
+
+let plant =
+  let open E in
+  Nncs_ode.Ode.make ~dim:Defs.state_dim ~input_dim:2
+    [|
+      neg (state Defs.ivint * sin (state Defs.ipsi)) + (input 0 * state Defs.iy);
+      (state Defs.ivint * cos (state Defs.ipsi))
+      - state Defs.ivown
+      - (input 0 * state Defs.ix);
+      input 1 - input 0;
+      const 0.0;
+      const 0.0;
+    |]
+
+(* The ownship's position in the intruder's body frame: the relative
+   vector is negated and rotated by -psi; the relative heading seen from
+   the intruder is -psi; own and intruder speeds swap. *)
+let mirror_state s =
+  let x = s.(Defs.ix) and y = s.(Defs.iy) and psi = s.(Defs.ipsi) in
+  let c = Float.cos psi and sn = Float.sin psi in
+  [|
+    -.((c *. x) +. (sn *. y));
+    -.((-.sn *. x) +. (c *. y));
+    -.psi;
+    s.(Defs.ivint);
+    s.(Defs.ivown);
+  |]
+
+let mirror_pre s = Dynamics.pre (mirror_state s)
+
+let mirror_pre_abs box =
+  let x = B.get box Defs.ix
+  and y = B.get box Defs.iy
+  and psi = B.get box Defs.ipsi in
+  let c = I.cos psi and sn = I.sin psi in
+  let mx = I.neg (I.add (I.mul c x) (I.mul sn y)) in
+  let my = I.neg (I.sub (I.mul c y) (I.mul sn x)) in
+  Dynamics.pre_abs
+    (B.of_intervals
+       [|
+         mx; my; I.neg psi; B.get box Defs.ivint; B.get box Defs.ivown;
+       |])
+
+let system ~networks ?(horizon_steps = Defs.horizon_steps) () =
+  let own = Scenario.controller ~networks () in
+  let intruder =
+    Nncs.Controller.make ~period:Defs.period_s ~commands:Defs.commands
+      ~networks
+      ~select:(fun prev -> prev)
+      ~pre:mirror_pre ~pre_abs:mirror_pre_abs
+      ~post:Nncs.Controller.argmin_post
+      ~post_abs:Nncs.Controller.argmin_post_abs ()
+  in
+  let controller = Nncs.Multi.product own intruder in
+  Nncs.System.make ~plant ~controller ~erroneous:Scenario.erroneous
+    ~target:Scenario.target ~horizon_steps
+
+let initial_state ~bearing ~heading =
+  [|
+    Defs.sensor_range_ft *. Float.cos bearing;
+    Defs.sensor_range_ft *. Float.sin bearing;
+    Dynamics.wrap_angle heading;
+    speed_fps;
+    speed_fps;
+  |]
+
+let initial_command = Nncs.Multi.encode ~p2:5 (Defs.index Defs.Coc) (Defs.index Defs.Coc)

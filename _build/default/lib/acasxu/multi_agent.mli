@@ -1,0 +1,38 @@
+(** Two-aircraft ACAS Xu (the paper's future-work direction 4): both the
+    ownship and the intruder run the collision-avoidance controller.
+
+    The plant keeps the same relative state (x, y, psi, v_own, v_int)
+    but now takes two commands: u0 = ownship turn rate, u1 = intruder
+    turn rate, with psi' = u1 - u0.  The intruder's controller reads the
+    mirrored encounter (the ownship's position expressed in the
+    intruder's body frame) through its own pre-processing; both
+    controllers are combined into a single product controller, so the
+    unchanged Algorithm 3 verifies the two-agent loop.
+
+    Both aircraft fly at 700 ft/s here so the mirrored encounter matches
+    the networks' training geometry. *)
+
+val speed_fps : float
+(** Common speed of both aircraft (700 ft/s). *)
+
+val plant : Nncs_ode.Ode.system
+(** The two-command kinematic model. *)
+
+val mirror_pre : float array -> float array
+(** The intruder-side pre-processing (mirrored geometry, normalised). *)
+
+val mirror_pre_abs : Nncs_interval.Box.t -> Nncs_interval.Box.t
+
+val system :
+  networks:Nncs_nn.Network.t array ->
+  ?horizon_steps:int ->
+  unit ->
+  Nncs.System.t
+(** The two-agent closed loop with the 25-command product controller;
+    E and T as in the single-agent scenario. *)
+
+val initial_state : bearing:float -> heading:float -> float array
+(** Same geometry as {!Scenario.initial_state} with both speeds 700. *)
+
+val initial_command : int
+(** Product index of (COC, COC). *)

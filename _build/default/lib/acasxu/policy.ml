@@ -1,0 +1,262 @@
+type config = {
+  rho_knots : float array;
+  collision_buffer_ft : float;
+  theta_cells : int;
+  psi_cells : int;
+  discount : float;
+  iterations : int;
+  collision_cost : float;
+  weak_alert_cost : float;
+  strong_alert_cost : float;
+  switch_cost : float;
+  reversal_cost : float;
+}
+
+let default_config =
+  {
+    collision_buffer_ft = 250.0;
+    rho_knots =
+      [|
+        0.0; 200.0; 400.0; 500.0; 600.0; 800.0; 1000.0; 1300.0; 1700.0;
+        2200.0; 2800.0; 3500.0; 4300.0; 5200.0; 6200.0; 7200.0; 8000.0; 9000.0;
+      |];
+    theta_cells = 41;
+    psi_cells = 41;
+    discount = 0.97;
+    iterations = 80;
+    collision_cost = 10.0;
+    weak_alert_cost = 0.02;
+    strong_alert_cost = 0.05;
+    switch_cost = 0.01;
+    reversal_cost = 0.02;
+  }
+
+let num_actions = 5
+
+type t = {
+  config : config;
+  theta_knots : float array;
+  psi_knots : float array;
+  (* q.(((ir * nt) + it) * np + ip) * 5 + a : converged cost-to-go *)
+  q : float array;
+}
+
+let config_of t = t.config
+
+(* ----- geometry helpers ----- *)
+
+let two_pi = 2.0 *. Float.pi
+
+let wrap = Dynamics.wrap_angle
+
+(* one 1-second transition of (rho, theta, psi) under advisory a,
+   tracking the minimum separation along the way *)
+let transition ~rho ~theta ~psi a =
+  let u = Defs.turn_rate_rad (Defs.of_index a) in
+  let x = ref (-.rho *. Float.sin theta) and y = ref (rho *. Float.cos theta) in
+  let p = ref psi in
+  let substeps = 5 in
+  let h = Defs.period_s /. float_of_int substeps in
+  let min_rho = ref rho in
+  for _ = 1 to substeps do
+    (* RK2 (midpoint) on the kinematic model, fixed velocities *)
+    let f x y p =
+      ( (-.Defs.v_int_fps *. Float.sin p) +. (u *. y),
+        (Defs.v_int_fps *. Float.cos p) -. Defs.v_own_fps -. (u *. x),
+        -.u )
+    in
+    let dx1, dy1, dp1 = f !x !y !p in
+    let xm = !x +. (0.5 *. h *. dx1)
+    and ym = !y +. (0.5 *. h *. dy1)
+    and pm = !p +. (0.5 *. h *. dp1) in
+    let dx2, dy2, dp2 = f xm ym pm in
+    x := !x +. (h *. dx2);
+    y := !y +. (h *. dy2);
+    p := !p +. (h *. dp2);
+    min_rho := Float.min !min_rho (Float.sqrt ((!x *. !x) +. (!y *. !y)))
+  done;
+  let rho' = Float.sqrt ((!x *. !x) +. (!y *. !y)) in
+  let theta' = Float.atan2 (-. !x) !y in
+  (rho', theta', wrap !p, !min_rho)
+
+(* ----- grid / interpolation ----- *)
+
+let uniform_knots n =
+  Array.init n (fun i ->
+      -.Float.pi +. (two_pi *. float_of_int i /. float_of_int (n - 1)))
+
+(* locate v in sorted knots: index i and fraction t with
+   v ~ knots.(i) + t * (knots.(i+1) - knots.(i)), clamped *)
+let locate knots v =
+  let n = Array.length knots in
+  if v <= knots.(0) then (0, 0.0)
+  else if v >= knots.(n - 1) then (n - 2, 1.0)
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let m = (!lo + !hi) / 2 in
+      if knots.(m) <= v then lo := m else hi := m
+    done;
+    let i = !lo in
+    (i, (v -. knots.(i)) /. (knots.(i + 1) -. knots.(i)))
+  end
+
+(* ----- value iteration ----- *)
+
+let action_cost cfg a =
+  match Defs.of_index a with
+  | Defs.Coc -> 0.0
+  | Defs.Weak_left | Defs.Weak_right -> cfg.weak_alert_cost
+  | Defs.Strong_left | Defs.Strong_right -> cfg.strong_alert_cost
+
+(* terminal classification of a transition endpoint *)
+type dest =
+  | Collision
+  | Escaped
+  | Interior of (int * float) * (int * float) * (int * float)
+      (* interpolation stencils in rho, theta, psi *)
+
+(* trilinear interpolation over a stencil, [get ir it ip] reading the
+   grid; indices are clamped by the caller-provided bounds *)
+let trilinear ~nr ~nt ~np ~get ((ir, tr), (it, tt), (ip, tp)) =
+  let g dr dt dp w acc =
+    if w = 0.0 then acc
+    else
+      let ir = min (nr - 1) (ir + dr)
+      and it = min (nt - 1) (it + dt)
+      and ip = min (np - 1) (ip + dp) in
+      acc +. (w *. get ir it ip)
+  in
+  0.0
+  |> g 0 0 0 ((1.0 -. tr) *. (1.0 -. tt) *. (1.0 -. tp))
+  |> g 0 0 1 ((1.0 -. tr) *. (1.0 -. tt) *. tp)
+  |> g 0 1 0 ((1.0 -. tr) *. tt *. (1.0 -. tp))
+  |> g 0 1 1 ((1.0 -. tr) *. tt *. tp)
+  |> g 1 0 0 (tr *. (1.0 -. tt) *. (1.0 -. tp))
+  |> g 1 0 1 (tr *. (1.0 -. tt) *. tp)
+  |> g 1 1 0 (tr *. tt *. (1.0 -. tp))
+  |> g 1 1 1 (tr *. tt *. tp)
+
+let compute ?(config = default_config) () =
+  let cfg = config in
+  let nr = Array.length cfg.rho_knots in
+  let nt = cfg.theta_cells and np = cfg.psi_cells in
+  if nr < 2 || nt < 2 || np < 2 then
+    invalid_arg "Policy.compute: grid too small";
+  let theta_knots = uniform_knots nt and psi_knots = uniform_knots np in
+  let rho_max = cfg.rho_knots.(nr - 1) in
+  let idx ir it ip = ((ir * nt) + it) * np + ip in
+  let nstates = nr * nt * np in
+  (* precompute transitions *)
+  let dests = Array.make (nstates * num_actions) Escaped in
+  for ir = 0 to nr - 1 do
+    for it = 0 to nt - 1 do
+      for ip = 0 to np - 1 do
+        let rho = cfg.rho_knots.(ir)
+        and theta = theta_knots.(it)
+        and psi = psi_knots.(ip) in
+        for a = 0 to num_actions - 1 do
+          let rho', theta', psi', min_rho = transition ~rho ~theta ~psi a in
+          let dest =
+            if min_rho < Defs.collision_radius_ft +. cfg.collision_buffer_ft then
+            Collision
+            else if rho' >= rho_max then Escaped
+            else
+              Interior
+                (locate cfg.rho_knots rho', locate theta_knots theta',
+                 locate psi_knots psi')
+          in
+          dests.((idx ir it ip * num_actions) + a) <- dest
+        done
+      done
+    done
+  done;
+  (* iterate V(s) = min_a [cost(a) + gamma * V(next)] *)
+  let v = Array.make nstates 0.0 in
+  let q_of_dest a dest =
+    action_cost cfg a
+    +.
+    match dest with
+    | Collision -> cfg.discount *. cfg.collision_cost
+    | Escaped -> 0.0
+    | Interior (sr, st, sp) ->
+        cfg.discount
+        *. trilinear ~nr ~nt ~np ~get:(fun ir it ip -> v.(idx ir it ip))
+             (sr, st, sp)
+  in
+  for _iter = 1 to cfg.iterations do
+    for s = 0 to nstates - 1 do
+      let best = ref Float.infinity in
+      for a = 0 to num_actions - 1 do
+        let q = q_of_dest a dests.((s * num_actions) + a) in
+        if q < !best then best := q
+      done;
+      v.(s) <- !best
+    done
+  done;
+  (* final Q table *)
+  let q = Array.make (nstates * num_actions) 0.0 in
+  for s = 0 to nstates - 1 do
+    for a = 0 to num_actions - 1 do
+      q.((s * num_actions) + a) <- q_of_dest a dests.((s * num_actions) + a)
+    done
+  done;
+  { config = cfg; theta_knots; psi_knots; q }
+
+(* ----- queries ----- *)
+
+let same_side a b =
+  (* both left turns or both right turns *)
+  let side i =
+    match Defs.of_index i with
+    | Defs.Coc -> 0
+    | Defs.Weak_left | Defs.Strong_left -> 1
+    | Defs.Weak_right | Defs.Strong_right -> -1
+  in
+  side a = side b
+
+let switch_penalty cfg ~prev a =
+  if a = prev then 0.0
+  else if prev <> 0 && a <> 0 && not (same_side prev a) then
+    cfg.switch_cost +. cfg.reversal_cost
+  else cfg.switch_cost
+
+let scores t ~prev ~rho ~theta ~psi =
+  if prev < 0 || prev >= num_actions then
+    invalid_arg "Policy.scores: invalid previous advisory";
+  let cfg = t.config in
+  let nr = Array.length cfg.rho_knots in
+  let nt = cfg.theta_cells and np = cfg.psi_cells in
+  let idx ir it ip = ((ir * nt) + it) * np + ip in
+  let sr = locate cfg.rho_knots rho
+  and st = locate t.theta_knots (wrap theta)
+  and sp = locate t.psi_knots (wrap psi) in
+  Array.init num_actions (fun a ->
+      trilinear ~nr ~nt ~np
+        ~get:(fun ir it ip -> t.q.((idx ir it ip * num_actions) + a))
+        (sr, st, sp)
+      +. switch_penalty cfg ~prev a)
+
+let best_action t ~prev ~rho ~theta ~psi =
+  let s = scores t ~prev ~rho ~theta ~psi in
+  let best = ref 0 in
+  for a = 1 to num_actions - 1 do
+    if s.(a) < s.(!best) then best := a
+  done;
+  !best
+
+let scores_state t ~prev s =
+  let rho, theta = Dynamics.rho_theta ~x:s.(Defs.ix) ~y:s.(Defs.iy) in
+  scores t ~prev ~rho ~theta ~psi:s.(Defs.ipsi)
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Marshal.to_channel oc t [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> (Marshal.from_channel ic : t))

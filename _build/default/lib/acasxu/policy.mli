@@ -1,0 +1,52 @@
+(** The "original ACAS Xu" lookup tables that the networks approximate.
+
+    The real tables were produced by solving an MDP with dynamic
+    programming (Kochenderfer et al.); the distributed networks are
+    proprietary, so this module rebuilds an equivalent artefact: a
+    finite-horizon value iteration on the paper's own 2D kinematic model
+    over a (rho, theta, psi) grid, yielding per-action cost scores.  The
+    5 per-previous-advisory tables differ by a switching penalty, exactly
+    like the original design (one table per previous advisory).
+
+    Scores are costs: the controller picks the argmin. *)
+
+type config = {
+  rho_knots : float array;  (** sorted, first >= 0 *)
+  collision_buffer_ft : float;
+      (** the tables treat separations below collision radius + buffer as
+          collisions, giving the interpolation and the network cloning a
+          safety margin *)
+  theta_cells : int;  (** uniform over (-pi, pi] *)
+  psi_cells : int;
+  discount : float;
+  iterations : int;
+  collision_cost : float;
+  weak_alert_cost : float;
+  strong_alert_cost : float;
+  switch_cost : float;
+  reversal_cost : float;  (** extra cost for switching turn direction *)
+}
+
+val default_config : config
+
+type t
+
+val compute : ?config:config -> unit -> t
+(** Runs value iteration (a few seconds with the default grid). *)
+
+val config_of : t -> config
+
+val scores :
+  t -> prev:int -> rho:float -> theta:float -> psi:float -> float array
+(** Cost score per advisory (length 5), including the switching penalty
+    w.r.t. the previous advisory index. Angles are wrapped internally;
+    rho is clamped to the grid. *)
+
+val best_action : t -> prev:int -> rho:float -> theta:float -> psi:float -> int
+
+val scores_state : t -> prev:int -> float array -> float array
+(** Same from a full plant state (x, y, psi, ...). *)
+
+val save : t -> string -> unit
+val load : string -> t
+(** Binary (Marshal) cache of the computed tables. *)

@@ -1,0 +1,92 @@
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module C = Nncs.Controller
+
+let erroneous =
+  Nncs.Spec.norm2_lt ~name:"collision"
+    ~dims:(Defs.ix, Defs.iy)
+    ~radius:Defs.collision_radius_ft
+
+let target =
+  Nncs.Spec.norm2_gt ~name:"out-of-range"
+    ~dims:(Defs.ix, Defs.iy)
+    ~radius:Defs.sensor_range_ft
+
+let controller ~networks ?domain ?nn_splits () =
+  if Array.length networks <> 5 then
+    invalid_arg "Scenario.controller: expected 5 networks";
+  C.make ~period:Defs.period_s ~commands:Defs.commands ~networks
+    ~select:(fun prev -> prev)
+    ~pre:Dynamics.pre ~pre_abs:Dynamics.pre_abs ~post:C.argmin_post
+    ~post_abs:C.argmin_post_abs ?domain ?nn_splits ()
+
+let system ~networks ?domain ?nn_splits ?(horizon_steps = Defs.horizon_steps) () =
+  Nncs.System.make ~plant:Dynamics.plant
+    ~controller:(controller ~networks ?domain ?nn_splits ())
+    ~erroneous ~target ~horizon_steps
+
+let initial_state ~bearing ~heading =
+  [|
+    Defs.sensor_range_ft *. Float.cos bearing;
+    Defs.sensor_range_ft *. Float.sin bearing;
+    Dynamics.wrap_angle heading;
+    Defs.v_own_fps;
+    Defs.v_int_fps;
+  |]
+
+(* The intruder at bearing alpha (position angle, ccw from +x) enters the
+   sensor circle iff its velocity points inward: with heading psi the
+   velocity is (-v sin psi, v cos psi), and the inward condition
+   sin(psi - alpha) > 0 gives the open cone (alpha, alpha + pi). *)
+let heading_cone ~bearing = (bearing, bearing +. Float.pi)
+
+let arc_center_angle ~arcs i =
+  2.0 *. Float.pi *. (float_of_int i +. 0.5) /. float_of_int arcs
+
+(* recentre the interval [lo, hi] so that its midpoint lies in
+   (-pi, pi] — keeps heading cells inside the network training range *)
+let recentre (lo, hi) =
+  let mid = 0.5 *. (lo +. hi) in
+  let shift = Dynamics.wrap_angle mid -. mid in
+  (lo +. shift, hi +. shift)
+
+let initial_cells ~arcs ~headings ?arc_indices () =
+  if arcs <= 0 || headings <= 0 then
+    invalid_arg "Scenario.initial_cells: non-positive partition sizes";
+  let indices =
+    match arc_indices with
+    | Some l ->
+        List.iter
+          (fun i ->
+            if i < 0 || i >= arcs then
+              invalid_arg "Scenario.initial_cells: arc index out of range")
+          l;
+        l
+    | None -> List.init arcs Fun.id
+  in
+  let coc = Defs.index Defs.Coc in
+  List.concat_map
+    (fun arc ->
+      let (xlo, xhi), (ylo, yhi) =
+        Nncs.Partition.ring ~radius:Defs.sensor_range_ft ~arcs ~arc_index:arc
+      in
+      let a0 = 2.0 *. Float.pi *. float_of_int arc /. float_of_int arcs in
+      let a1 = 2.0 *. Float.pi *. float_of_int (arc + 1) /. float_of_int arcs in
+      (* cone covering the entry headings of every bearing in the arc *)
+      let psi_lo = a0 and psi_hi = a1 +. Float.pi in
+      let w = (psi_hi -. psi_lo) /. float_of_int headings in
+      List.init headings (fun k ->
+          let lo = psi_lo +. (float_of_int k *. w) in
+          let lo, hi = recentre (lo, lo +. w) in
+          let box =
+            B.of_intervals
+              [|
+                I.make xlo xhi;
+                I.make ylo yhi;
+                I.make lo hi;
+                I.of_float Defs.v_own_fps;
+                I.of_float Defs.v_int_fps;
+              |]
+          in
+          (arc, Nncs.Symstate.make box coc)))
+    indices

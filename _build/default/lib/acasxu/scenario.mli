@@ -1,0 +1,49 @@
+(** Assembly of the full ACAS Xu verification scenario (Example 1):
+    closed-loop system, specification sets E and T, and the ribbon
+    partition of the initial states (Fig. 8). *)
+
+val erroneous : Nncs.Spec.t
+(** E: intruder inside the 500 ft collision circle. *)
+
+val target : Nncs.Spec.t
+(** T: intruder outside the 8000 ft sensor range. *)
+
+val controller :
+  networks:Nncs_nn.Network.t array ->
+  ?domain:Nncs_nnabs.Transformer.domain ->
+  ?nn_splits:int ->
+  unit ->
+  Nncs.Controller.t
+(** The 5-network controller with the cylindrical pre-processing and the
+    argmin post-processing; [select] maps the previous advisory to its
+    network. *)
+
+val system :
+  networks:Nncs_nn.Network.t array ->
+  ?domain:Nncs_nnabs.Transformer.domain ->
+  ?nn_splits:int ->
+  ?horizon_steps:int ->
+  unit ->
+  Nncs.System.t
+
+val initial_state : bearing:float -> heading:float -> float array
+(** Concrete initial plant state: intruder on the sensor circle at the
+    given bearing angle (position angle on the circle, radians,
+    counter-clockwise from +x) with the given relative heading. *)
+
+val heading_cone : bearing:float -> float * float
+(** The (open) cone of initial headings that make the intruder enter the
+    circle at this bearing: [(bearing + pi/2 wrapped ...)] expressed in
+    the heading convention of the dynamics. *)
+
+val initial_cells :
+  arcs:int ->
+  headings:int ->
+  ?arc_indices:int list ->
+  unit ->
+  (int * Nncs.Symstate.t) list
+(** The ribbon partition: for each (selected) arc of the sensor circle,
+    [headings] heading sub-intervals covering the entry cone; every cell
+    is tagged with its arc index.  All cells start with command COC. *)
+
+val arc_center_angle : arcs:int -> int -> float

@@ -1,0 +1,117 @@
+module Rng = Nncs_linalg.Rng
+module Net = Nncs_nn.Network
+module Dataset = Nncs_nn.Dataset
+module Train = Nncs_nn.Train
+module Io = Nncs_nn.Nnet_io
+
+type spec = {
+  hidden : int list;
+  samples : int;
+  epochs : int;
+  learning_rate : float;
+  batch_size : int;
+  seed : int;
+}
+
+let default_spec =
+  {
+    hidden = [ 32; 32; 32 ];
+    samples = 20_000;
+    epochs = 40;
+    learning_rate = 1e-3;
+    batch_size = 64;
+    seed = 2024;
+  }
+
+(* Max heading drift over the horizon (strongest turn rate times tau)
+   plus half a worst-case partition cell of slack: wrapped initial
+   heading cells recentred into (-pi, pi] can overhang by up to half
+   their width before drifting. *)
+let psi_training_halfwidth =
+  Float.pi
+  +. (Defs.turn_rate_rad Defs.Strong_left *. float_of_int Defs.horizon_steps)
+  +. 0.55
+
+let network_input ~rho ~theta ~psi =
+  Dynamics.pre
+    [| -.rho *. Float.sin theta; rho *. Float.cos theta; psi; Defs.v_own_fps; Defs.v_int_fps |]
+
+(* The network only has to reproduce the table's argmin, so instead of
+   the raw cost-to-go (whose collision cliffs dominate the regression
+   loss) we clone the per-state *advantages* clipped at [advantage_clip]:
+   score_a - min_a' score_a', capped.  Subtracting the minimum and
+   clipping both preserve the argmin while shrinking the dynamic range
+   the network must fit — the same trick as the asymmetric losses used
+   for the original ACAS Xu compression. *)
+let advantage_clip = 0.5
+
+let advantages scores =
+  let m = Array.fold_left Float.min scores.(0) scores in
+  Array.map (fun v -> Float.min (v -. m) advantage_clip) scores
+
+let build_dataset ~rng policy ~prev ~n =
+  let rho_max = Defs.sensor_range_ft *. 1.12 in
+  Dataset.create
+    (Array.init n (fun _ ->
+         (* sample rho with a bias towards close range, where the policy
+            has the most structure *)
+         let u = Rng.float rng 1.0 in
+         let rho = rho_max *. (u ** 1.5) in
+         let theta = Rng.uniform rng (-.Float.pi) Float.pi in
+         let psi =
+           Rng.uniform rng (-.psi_training_halfwidth) psi_training_halfwidth
+         in
+         ( network_input ~rho ~theta ~psi,
+           advantages (Policy.scores policy ~prev ~rho ~theta ~psi) )))
+
+let train_network ?(spec = default_spec) policy ~prev =
+  let rng = Rng.create (spec.seed + (1000 * prev)) in
+  let data = build_dataset ~rng policy ~prev ~n:spec.samples in
+  let train, validation = Dataset.split ~rng ~fraction:0.9 data in
+  let net = Net.create_mlp ~rng ~layer_sizes:((5 :: spec.hidden) @ [ 5 ]) in
+  let trained, _report =
+    Train.fit
+      ~config:
+        {
+          Train.default_config with
+          epochs = spec.epochs;
+          learning_rate = spec.learning_rate;
+          batch_size = spec.batch_size;
+        }
+      ~rng ~net ~train ~validation ()
+  in
+  (trained, Dataset.classification_accuracy trained validation)
+
+let train_all ?spec policy =
+  Array.init 5 (fun prev -> fst (train_network ?spec policy ~prev))
+
+let network_path ~dir ~prev =
+  Filename.concat dir (Printf.sprintf "acasxu_%s.nnet" (Defs.name (Defs.of_index prev)))
+
+let policy_path ~dir = Filename.concat dir "acasxu_policy.bin"
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let load_or_train ?spec ?policy_config ~dir () =
+  ensure_dir dir;
+  let ppath = policy_path ~dir in
+  let policy =
+    if Sys.file_exists ppath then Policy.load ppath
+    else begin
+      let p = Policy.compute ?config:policy_config () in
+      Policy.save p ppath;
+      p
+    end
+  in
+  let networks =
+    Array.init 5 (fun prev ->
+        let path = network_path ~dir ~prev in
+        if Sys.file_exists path then Io.load path
+        else begin
+          let net, _acc = train_network ?spec policy ~prev in
+          Io.save net path;
+          net
+        end)
+  in
+  (policy, networks)

@@ -1,0 +1,50 @@
+(** Production of the 5 ReLU networks from the lookup-table policy by
+    supervised learning (behavioural cloning), replacing the proprietary
+    ACAS Xu networks with an artefact of identical shape: one network per
+    previous advisory, 5 inputs, 5 cost scores, argmin selection.
+
+    Trained networks are cached on disk in .nnet format; the cache key is
+    the file name only, so delete the files to retrain. *)
+
+type spec = {
+  hidden : int list;  (** hidden layer sizes, e.g. [32; 32; 32] *)
+  samples : int;  (** training set size per network *)
+  epochs : int;
+  learning_rate : float;
+  batch_size : int;
+  seed : int;
+}
+
+val default_spec : spec
+(** 3 hidden layers of 32, 20k samples, 40 epochs, Adam 1e-3, seed 2024. *)
+
+val psi_training_halfwidth : float
+(** Networks are trained for psi in [-w, w]; w exceeds pi by the largest
+    drift the ownship can accumulate over the horizon, so wrapped initial
+    headings never leave the training domain. *)
+
+val network_input : rho:float -> theta:float -> psi:float -> float array
+(** The normalised 5-d network input (matches {!Dynamics.pre}). *)
+
+val build_dataset :
+  rng:Nncs_linalg.Rng.t -> Policy.t -> prev:int -> n:int -> Nncs_nn.Dataset.t
+
+val train_network :
+  ?spec:spec -> Policy.t -> prev:int -> Nncs_nn.Network.t * float
+(** Returns the trained network and its argmin agreement with the table
+    on a held-out validation set (in [0, 1]). *)
+
+val train_all : ?spec:spec -> Policy.t -> Nncs_nn.Network.t array
+(** The 5 networks, indices = advisory indices. *)
+
+val network_path : dir:string -> prev:int -> string
+val policy_path : dir:string -> string
+
+val load_or_train :
+  ?spec:spec ->
+  ?policy_config:Policy.config ->
+  dir:string ->
+  unit ->
+  Policy.t * Nncs_nn.Network.t array
+(** Loads the policy tables and networks from [dir] when present;
+    otherwise computes/trains and saves them there (creating [dir]). *)

@@ -1,0 +1,1 @@
+lib/affine/affine_form.ml: Array Atomic Float Format List Nncs_interval

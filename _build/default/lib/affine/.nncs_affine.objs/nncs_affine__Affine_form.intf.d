@@ -1,0 +1,1 @@
+lib/affine/affine_form.mli: Format Nncs_interval

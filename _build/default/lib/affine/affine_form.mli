@@ -1,0 +1,50 @@
+(** Affine arithmetic (Stolfi & Figueiredo).
+
+    An affine form [x0 + sum_i xi * eps_i (+ err * eps_fresh)] represents
+    the set of reals obtained when each noise symbol [eps_i] ranges over
+    [-1, 1].  Unlike plain intervals, shared noise symbols track linear
+    correlations between quantities, which cancels wrapping in long
+    affine computations (e.g. the affine layers of a neural network).
+
+    All operations are sound: rounding errors of the float computations
+    are folded into the anonymous error term [err]. *)
+
+type t
+
+val fresh_symbol : unit -> int
+(** Globally fresh noise symbol index. *)
+
+val of_float : float -> t
+
+val of_interval : Nncs_interval.Interval.t -> t
+(** Fresh noise symbol for the interval's radius. *)
+
+val of_interval_with : int -> Nncs_interval.Interval.t -> t
+(** Same but with the given symbol, so that two quantities built from the
+    same symbol are recognised as fully correlated. *)
+
+val to_interval : t -> Nncs_interval.Interval.t
+(** Concretisation (the range of the form). *)
+
+val center : t -> float
+val radius : t -> float
+(** Upper bound on the total deviation (sum of |coeffs| + err). *)
+
+val coeff : t -> int -> float
+val error_term : t -> float
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val add_const : t -> float -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+(** Quadratic remainder pushed into the error term. *)
+
+val add_error : t -> float -> t
+(** Grow the anonymous error term by [e >= 0]. *)
+
+val linear_combination : (float * t) list -> float -> t
+(** [linear_combination [(w1, x1); ...] b] is [sum wi * xi + b] with a
+    single rounding-error accumulation — the affine layer primitive. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/baseline/discrete.ml: Array List Nncs Nncs_interval Nncs_ode

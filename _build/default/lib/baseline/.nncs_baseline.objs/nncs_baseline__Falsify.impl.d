@@ -1,0 +1,1 @@
+lib/baseline/falsify.ml: Array Float Nncs Nncs_interval Nncs_linalg

@@ -1,0 +1,1 @@
+lib/baseline/triage.ml: Falsify List Nncs Unix

@@ -1,0 +1,1 @@
+lib/baseline/triage.mli: Falsify Nncs

@@ -1,0 +1,65 @@
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+
+type verdict =
+  | No_collision_observed
+  | Collision_at_sample of { step : int; init : float array }
+
+type config = { samples_per_dim : int }
+
+let default_config = { samples_per_dim = 5 }
+
+(* grid of sample points of a box (degenerate dimensions contribute a
+   single value) *)
+let grid_points ~per_dim box =
+  let n = B.dim box in
+  let axis i =
+    let iv = B.get box i in
+    if I.is_degenerate iv then [ I.lo iv ]
+    else
+      List.init per_dim (fun k ->
+          I.lo iv
+          +. (I.width iv *. float_of_int k /. float_of_int (per_dim - 1)))
+  in
+  let rec go i acc =
+    if i = n then List.map (fun l -> Array.of_list (List.rev l)) acc
+    else go (i + 1) (List.concat_map (fun p -> List.map (fun v -> v :: p) (axis i)) acc)
+  in
+  go 0 [ [] ]
+
+let analyze ?(config = default_config) sys cell =
+  if config.samples_per_dim < 2 then
+    invalid_arg "Discrete.analyze: need at least 2 samples per dimension";
+  let ctrl = sys.Nncs.System.controller in
+  let plant = sys.Nncs.System.plant in
+  let period = ctrl.Nncs.Controller.period in
+  let q = sys.Nncs.System.horizon_steps in
+  let exception Hit of verdict in
+  try
+    List.iter
+      (fun init ->
+        let state = ref (Array.copy init)
+        and cmd = ref cell.Nncs.Symstate.cmd in
+        (try
+           for j = 0 to q do
+             (* the discrete method looks at sampling instants only *)
+             if sys.Nncs.System.erroneous.Nncs.Spec.contains_point !state !cmd
+             then raise (Hit (Collision_at_sample { step = j; init }));
+             if sys.Nncs.System.target.Nncs.Spec.contains_point !state !cmd
+             then raise Exit;
+             if j < q then begin
+               let next_cmd =
+                 Nncs.Controller.concrete_step ctrl ~state:!state ~prev_cmd:!cmd
+               in
+               let u = Nncs.Command.value ctrl.Nncs.Controller.commands !cmd in
+               state :=
+                 Nncs_ode.Ode.rk4_flow plant
+                   ~time:(float_of_int j *. period)
+                   ~state:!state ~inputs:u ~duration:period ~steps:8;
+               cmd := next_cmd
+             end
+           done
+         with Exit -> ()))
+      (grid_points ~per_dim:config.samples_per_dim cell.Nncs.Symstate.box);
+    No_collision_observed
+  with Hit v -> v

@@ -1,0 +1,25 @@
+(** Discrete-instant analysis in the style of Julian & Kochenderfer
+    (DASC 2019), the paper's foil in Section 2: explore the closed loop
+    over a sampled grid of initial states and check the erroneous set
+    {e only at the sampling instants jT}.
+
+    This is cheaper than sound reachability but twice unsound: states
+    between grid points are never simulated, and excursions into E
+    strictly between two sampling instants go unnoticed (exactly the gap
+    our Remark-2-respecting flow enclosure closes).  Bench E7
+    demonstrates a collision this method misses. *)
+
+type verdict =
+  | No_collision_observed
+      (** no sampled trajectory touched E at any sampling instant *)
+  | Collision_at_sample of { step : int; init : float array }
+
+type config = {
+  samples_per_dim : int;  (** grid resolution per non-degenerate dim *)
+}
+
+val default_config : config
+
+val analyze : ?config:config -> Nncs.System.t -> Nncs.Symstate.t -> verdict
+(** Simulate a grid of initial states from the cell; E is tested at
+    t = 0, T, 2T, ... only. *)

@@ -1,0 +1,149 @@
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module Rng = Nncs_linalg.Rng
+
+type strategy =
+  | Random_descent
+  | Cross_entropy of { population : int; elite : int; generations : int }
+
+type config = {
+  shots : int;
+  descent_steps : int;
+  seed : int;
+  substeps : int;
+  strategy : strategy;
+}
+
+let default_config =
+  { shots = 60; descent_steps = 40; seed = 7; substeps = 20; strategy = Random_descent }
+
+let cem_config =
+  {
+    default_config with
+    strategy = Cross_entropy { population = 30; elite = 6; generations = 12 };
+  }
+
+type result = {
+  witness : (float array * Nncs.Concrete.trace) option;
+  best_metric : float;
+  simulations : int;
+}
+
+let sample_box rng box =
+  Array.init (B.dim box) (fun i ->
+      let iv = B.get box i in
+      if I.is_degenerate iv then I.lo iv else Rng.uniform rng (I.lo iv) (I.hi iv))
+
+let clamp_to_box box s =
+  Array.mapi
+    (fun i v ->
+      let iv = B.get box i in
+      Float.max (I.lo iv) (Float.min (I.hi iv) v))
+    s
+
+(* shared search harness: the strategies below drive [consider] *)
+
+let run_random_descent config rng box consider witness =
+  let widths = B.widths box in
+  try
+    for _shot = 1 to config.shots do
+      let start = sample_box rng box in
+      let m0 = consider start in
+      (* local gaussian descent with shrinking radius, one coordinate
+         frame over the non-degenerate dimensions *)
+      let current = ref start and current_m = ref m0 in
+      for step = 1 to config.descent_steps do
+        let sigma =
+          0.25
+          *. (1.0 -. (float_of_int step /. float_of_int (config.descent_steps + 1)))
+        in
+        let cand =
+          clamp_to_box box
+            (Array.mapi
+               (fun i v ->
+                 if widths.(i) = 0.0 then v
+                 else v +. (sigma *. widths.(i) *. Rng.gaussian rng))
+               !current)
+        in
+        let m = consider cand in
+        if m < !current_m then begin
+          current := cand;
+          current_m := m
+        end
+      done;
+      if !witness <> None then raise Exit
+    done
+  with Exit -> ()
+
+let run_cross_entropy ~population ~elite ~generations rng box consider witness =
+  let n = B.dim box in
+  let widths = B.widths box in
+  let mean = ref (B.center box) in
+  let sigma = ref (Array.map (fun w -> Float.max 1e-12 (0.4 *. w)) widths) in
+  (try
+     for _gen = 1 to generations do
+       let scored =
+         Array.init population (fun _ ->
+             let cand =
+               clamp_to_box box
+                 (Array.init n (fun i ->
+                      if widths.(i) = 0.0 then !mean.(i)
+                      else !mean.(i) +. (!sigma.(i) *. Rng.gaussian rng)))
+             in
+             (consider cand, cand))
+       in
+       if !witness <> None then raise Exit;
+       Array.sort (fun (a, _) (b, _) -> compare a b) scored;
+       let k = max 1 (min elite population) in
+       (* refit the gaussian on the elites, with a variance floor to keep
+          exploring *)
+       for i = 0 to n - 1 do
+         if widths.(i) > 0.0 then begin
+           let m = ref 0.0 in
+           for e = 0 to k - 1 do
+             m := !m +. (snd scored.(e)).(i)
+           done;
+           let m = !m /. float_of_int k in
+           let v = ref 0.0 in
+           for e = 0 to k - 1 do
+             let d = (snd scored.(e)).(i) -. m in
+             v := !v +. (d *. d)
+           done;
+           !mean.(i) <- m;
+           !sigma.(i) <-
+             Float.max (0.01 *. widths.(i)) (sqrt (!v /. float_of_int k))
+         end
+       done
+     done
+   with Exit -> ())
+
+let falsify ?(config = default_config) sys ~cell ~metric =
+  let rng = Rng.create config.seed in
+  let box = cell.Nncs.Symstate.box in
+  let cmd = cell.Nncs.Symstate.cmd in
+  let sims = ref 0 in
+  let objective init =
+    incr sims;
+    let trace =
+      Nncs.Concrete.simulate ~substeps:config.substeps sys ~init_state:init
+        ~init_cmd:cmd
+    in
+    (Nncs.Concrete.min_erroneous_distance ~metric trace, trace)
+  in
+  let best = ref Float.infinity and witness = ref None in
+  let consider init =
+    let m, trace = objective init in
+    if m < !best then begin
+      best := m;
+      if m <= 0.0 && !witness = None then witness := Some (init, trace)
+    end;
+    m
+  in
+  (match config.strategy with
+  | Random_descent -> run_random_descent config rng box consider witness
+  | Cross_entropy { population; elite; generations } ->
+      run_cross_entropy ~population ~elite ~generations rng box consider witness);
+  { witness = !witness; best_metric = !best; simulations = !sims }
+
+let acasxu_metric s =
+  Float.sqrt ((s.(0) *. s.(0)) +. (s.(1) *. s.(1))) -. 500.0

@@ -1,0 +1,49 @@
+(** Falsification by random shooting plus local descent (the related-work
+    approach of S-TaLiRo-style tools, Section 2): search the initial set
+    for a concrete trajectory entering E.
+
+    Falsification can prove a system unsafe (by witness) but never safe —
+    the complementary tool to the reachability analysis: run it on cells
+    the analysis could not prove, to separate "really unsafe" from
+    "over-approximation too coarse". *)
+
+type strategy =
+  | Random_descent  (** random restarts + gaussian local descent *)
+  | Cross_entropy of { population : int; elite : int; generations : int }
+      (** CEM: iteratively refit a gaussian sampler on the elite fraction
+          of each population — stronger on narrow unsafe slivers *)
+
+type config = {
+  shots : int;  (** random restarts (Random_descent) *)
+  descent_steps : int;  (** local perturbation rounds per shot *)
+  seed : int;
+  substeps : int;  (** RK4 sub-steps per period in simulation *)
+  strategy : strategy;
+}
+
+val default_config : config
+(** Random_descent with 60 shots. *)
+
+val cem_config : config
+(** Cross-entropy with a 30-sample population, 6 elites, 12 generations. *)
+
+type result = {
+  witness : (float array * Nncs.Concrete.trace) option;
+      (** initial state and its trace, when a trajectory touching E was
+          found *)
+  best_metric : float;  (** smallest objective seen (<= 0 iff witness) *)
+  simulations : int;
+}
+
+val falsify :
+  ?config:config ->
+  Nncs.System.t ->
+  cell:Nncs.Symstate.t ->
+  metric:(float array -> float) ->
+  result
+(** [metric s] must be a continuous function that is negative exactly on
+    the erroneous plant states (e.g. distance to the collision circle
+    minus its radius); initial states are drawn from [cell]. *)
+
+val acasxu_metric : float array -> float
+(** sqrt(x^2 + y^2) - 500 ft: the canonical objective for the use case. *)

@@ -1,0 +1,43 @@
+(** Combined verification + falsification (the paper's future-work
+    direction 3): for every initial cell, first try to {e prove} safety
+    by reachability (with split refinement); on the remainder, {e search}
+    for a concrete counterexample.  Each cell ends up in one of three
+    buckets:
+
+    - [Proved]     — sound safety proof,
+    - [Falsified]  — concrete colliding trajectory found (truly unsafe),
+    - [Unknown]    — neither: the over-approximation is too coarse or the
+                     budget too small.
+
+    This separates "the system is unsafe here" from "the analysis is not
+    precise enough here", which Fig. 9a alone cannot do. *)
+
+type verdict =
+  | Proved
+  | Falsified of float array  (** a colliding initial state *)
+  | Unknown
+
+type config = {
+  verify : Nncs.Verify.config;
+  falsify : Falsify.config;
+  metric : float array -> float;
+      (** negative exactly on erroneous plant states *)
+}
+
+type cell_result = {
+  cell : Nncs.Symstate.t;
+  verdict : verdict;
+  proved_fraction : float;  (** from the verification phase *)
+  elapsed : float;
+}
+
+type report = {
+  results : cell_result list;
+  proved : int;
+  falsified : int;
+  unknown : int;
+  elapsed : float;
+}
+
+val classify : config -> Nncs.System.t -> Nncs.Symstate.t -> cell_result
+val triage : config -> Nncs.System.t -> Nncs.Symstate.t list -> report

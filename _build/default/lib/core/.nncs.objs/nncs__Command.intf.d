@@ -1,0 +1,1 @@
+lib/core/command.mli: Format Nncs_interval

@@ -1,0 +1,1 @@
+lib/core/concrete.ml: Array Command Controller Float List Nncs_ode Spec System

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Command List Nncs_interval Nncs_nn Nncs_nnabs Printf

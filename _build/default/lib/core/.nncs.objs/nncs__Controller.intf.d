@@ -1,0 +1,1 @@
+lib/core/controller.mli: Command Nncs_interval Nncs_nn Nncs_nnabs

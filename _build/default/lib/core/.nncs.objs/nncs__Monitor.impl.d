@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Fun List Nncs_interval Printf String Symstate Verify

@@ -1,0 +1,1 @@
+lib/core/multi.ml: Array Command Controller List Nncs_interval Nncs_nn

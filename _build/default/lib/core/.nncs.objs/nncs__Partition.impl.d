@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Float List Nncs_interval Symstate

@@ -1,0 +1,1 @@
+lib/core/reach.ml: Array Command Controller List Nncs_interval Nncs_ode Resize Spec Symset Symstate System

@@ -1,0 +1,1 @@
+lib/core/reach.mli: Nncs_ode Symset System

@@ -1,0 +1,1 @@
+lib/core/symset.ml: Array Float Format List Nncs_interval Symstate

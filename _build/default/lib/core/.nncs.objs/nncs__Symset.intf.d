@@ -1,0 +1,1 @@
+lib/core/symset.mli: Command Format Nncs_interval Symstate

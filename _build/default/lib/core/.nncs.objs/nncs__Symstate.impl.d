@@ -1,0 +1,1 @@
+lib/core/symstate.ml: Command Format List Nncs_interval

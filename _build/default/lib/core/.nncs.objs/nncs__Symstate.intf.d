@@ -1,0 +1,1 @@
+lib/core/symstate.mli: Command Format Nncs_interval

@@ -1,0 +1,1 @@
+lib/core/system.ml: Command Controller Nncs_ode Spec

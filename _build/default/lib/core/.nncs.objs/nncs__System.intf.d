@@ -1,0 +1,1 @@
+lib/core/system.mli: Controller Nncs_ode Spec

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Controller Domain Fun List Nncs_interval Reach Symset Symstate System Unix

@@ -1,0 +1,57 @@
+module B = Nncs_interval.Box
+
+type set = { values : float array array; names : string array }
+
+let make ?names values =
+  let p = Array.length values in
+  if p = 0 then invalid_arg "Command.make: empty command set";
+  let d = Array.length values.(0) in
+  if d = 0 then invalid_arg "Command.make: zero-dimensional commands";
+  Array.iter
+    (fun v ->
+      if Array.length v <> d then
+        invalid_arg "Command.make: inconsistent command dimensions")
+    values;
+  let names =
+    match names with
+    | None -> Array.init p (Printf.sprintf "u%d")
+    | Some ns ->
+        if Array.length ns <> p then
+          invalid_arg "Command.make: wrong number of names";
+        Array.copy ns
+  in
+  { values = Array.map Array.copy values; names }
+
+let size s = Array.length s.values
+let dim s = Array.length s.values.(0)
+
+let check_index s i name =
+  if i < 0 || i >= size s then
+    invalid_arg (Printf.sprintf "Command.%s: index %d out of range" name i)
+
+let value s i =
+  check_index s i "value";
+  Array.copy s.values.(i)
+
+let value_box s i =
+  check_index s i "value_box";
+  B.of_point s.values.(i)
+
+let name s i =
+  check_index s i "name";
+  s.names.(i)
+
+let index_of_name s n =
+  let rec go i =
+    if i >= size s then raise Not_found
+    else if s.names.(i) = n then i
+    else go (i + 1)
+  in
+  go 0
+
+let scalar s i =
+  check_index s i "scalar";
+  if dim s <> 1 then invalid_arg "Command.scalar: command set is not scalar";
+  s.values.(i).(0)
+
+let pp_command s fmt i = Format.fprintf fmt "%s" (name s i)

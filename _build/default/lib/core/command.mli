@@ -1,0 +1,32 @@
+(** The finite set U of actuation commands (Section 4.1).
+
+    Commands are d-dimensional real vectors; a command is designated by
+    its index in the set, which is what symbolic states store. *)
+
+type set
+
+val make : ?names:string array -> float array array -> set
+(** [make values] with [values.(i)] the i-th command vector; all vectors
+    must share the dimension and the set must be non-empty.  Optional
+    names are used for printing (defaults to "u0", "u1", ...). *)
+
+val size : set -> int
+(** P, the number of possible commands. *)
+
+val dim : set -> int
+(** d, the dimension of a command vector. *)
+
+val value : set -> int -> float array
+(** Fresh copy of the i-th command vector. *)
+
+val value_box : set -> int -> Nncs_interval.Box.t
+(** The i-th command as a degenerate box (for interval plant flows). *)
+
+val name : set -> int -> string
+val index_of_name : set -> string -> int
+(** Raises [Not_found]. *)
+
+val scalar : set -> int -> float
+(** Convenience for 1-dimensional command sets. *)
+
+val pp_command : set -> Format.formatter -> int -> unit

@@ -1,0 +1,36 @@
+(** Concrete (non-validated) closed-loop simulation — the ground truth
+    that the reachability over-approximation must enclose.  Used by the
+    test suite, the examples and the falsification baseline.
+
+    Timing follows Section 4.1: the command active during
+    [jT, (j+1)T) is u_j; the controller executed during that period
+    samples s(jT) and produces u_(j+1).  Termination in T is detected at
+    sampling instants (Remark 2); contact with E is checked at every RK4
+    sub-step. *)
+
+type termination =
+  | Terminated of float  (** entered T, detected at this sampling instant *)
+  | Hit_error of float  (** entered E at (approximately) this time *)
+  | Horizon_end  (** ran all q control steps *)
+
+type trace = {
+  points : (float * float array * int) list;
+      (** (time, plant state, command index) at every RK4 sub-step,
+          chronological *)
+  termination : termination;
+}
+
+val simulate :
+  ?substeps:int ->
+  System.t ->
+  init_state:float array ->
+  init_cmd:int ->
+  trace
+(** [substeps] RK4 steps per control period (default 20). *)
+
+val min_erroneous_distance :
+  metric:(float array -> float) -> trace -> float
+(** Minimum of a scalar metric (e.g. distance to the collision circle)
+    along the trace — the falsifier's objective. *)
+
+val final_state : trace -> float array * int

@@ -1,0 +1,106 @@
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module Net = Nncs_nn.Network
+module T = Nncs_nnabs.Transformer
+
+type t = {
+  period : float;
+  commands : Command.set;
+  networks : Net.t array;
+  select : int -> int;
+  pre : float array -> float array;
+  pre_abs : B.t -> B.t;
+  post : float array -> int;
+  post_abs : B.t -> int list;
+  domain : T.domain;
+  nn_splits : int;
+}
+
+let make ~period ~commands ~networks ~select ~pre ~pre_abs ~post ~post_abs
+    ?(domain = T.Symbolic) ?(nn_splits = 0) () =
+  if period <= 0.0 then invalid_arg "Controller.make: non-positive period";
+  if Array.length networks = 0 then invalid_arg "Controller.make: no networks";
+  if nn_splits < 0 then invalid_arg "Controller.make: negative nn_splits";
+  for c = 0 to Command.size commands - 1 do
+    let n = select c in
+    if n < 0 || n >= Array.length networks then
+      invalid_arg
+        (Printf.sprintf
+           "Controller.make: select maps command %d to invalid network %d" c n)
+  done;
+  { period; commands; networks; select; pre; pre_abs; post; post_abs; domain; nn_splits }
+
+let concrete_step ctrl ~state ~prev_cmd =
+  let net = ctrl.networks.(ctrl.select prev_cmd) in
+  let x = ctrl.pre state in
+  let y = Net.eval net x in
+  let cmd = ctrl.post y in
+  if cmd < 0 || cmd >= Command.size ctrl.commands then
+    invalid_arg "Controller.concrete_step: post returned an invalid command";
+  cmd
+
+let abstract_scores ctrl ~box ~prev_cmd =
+  let net = ctrl.networks.(ctrl.select prev_cmd) in
+  let x = ctrl.pre_abs box in
+  if ctrl.nn_splits = 0 then T.propagate ctrl.domain net x
+  else T.propagate_split ctrl.domain ~splits:ctrl.nn_splits net x
+
+let abstract_step ctrl ~box ~prev_cmd =
+  let y = abstract_scores ctrl ~box ~prev_cmd in
+  let cmds = ctrl.post_abs y in
+  if cmds = [] then
+    invalid_arg "Controller.abstract_step: post_abs returned no command";
+  List.iter
+    (fun c ->
+      if c < 0 || c >= Command.size ctrl.commands then
+        invalid_arg "Controller.abstract_step: invalid command index")
+    cmds;
+  cmds
+
+let argmin_post scores =
+  if Array.length scores = 0 then invalid_arg "Controller.argmin_post: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length scores - 1 do
+    if scores.(i) < scores.(!best) then best := i
+  done;
+  !best
+
+(* Command i is possibly the argmin iff there is a point of the box where
+   score i is <= every other score; over-approximated by comparing i's
+   lower bound against the others' upper bounds. *)
+let argmin_post_abs box =
+  let p = B.dim box in
+  let reachable = ref [] in
+  for i = p - 1 downto 0 do
+    let lo_i = I.lo (B.get box i) in
+    let dominated = ref false in
+    for j = 0 to p - 1 do
+      if j <> i && I.hi (B.get box j) < lo_i then dominated := true
+    done;
+    if not !dominated then reachable := i :: !reachable
+  done;
+  !reachable
+
+let argmax_post scores =
+  if Array.length scores = 0 then invalid_arg "Controller.argmax_post: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length scores - 1 do
+    if scores.(i) > scores.(!best) then best := i
+  done;
+  !best
+
+let argmax_post_abs box =
+  let p = B.dim box in
+  let reachable = ref [] in
+  for i = p - 1 downto 0 do
+    let hi_i = I.hi (B.get box i) in
+    let dominated = ref false in
+    for j = 0 to p - 1 do
+      if j <> i && I.lo (B.get box j) > hi_i then dominated := true
+    done;
+    if not !dominated then reachable := i :: !reachable
+  done;
+  !reachable
+
+let identity_pre s = s
+let identity_pre_abs b = b

@@ -1,0 +1,67 @@
+(** The generic neural-network-based controller model of Section 4.3:
+    a pre-processing, a collection of ReLU networks selected from the
+    previous command by [select] (the paper's lambda), and a
+    post-processing onto the finite command set.
+
+    Both a concrete semantics (used by simulation and falsification) and
+    an abstract semantics (Pre#, F#, Post# — used by reachability) are
+    carried; the abstract functions must over-approximate the concrete
+    ones, which is checked by the test suite on the shipped instances. *)
+
+type t = {
+  period : float;  (** T, seconds *)
+  commands : Command.set;  (** U *)
+  networks : Nncs_nn.Network.t array;  (** N(1) ... N(D) *)
+  select : int -> int;  (** lambda: previous command index -> network index *)
+  pre : float array -> float array;  (** Pre *)
+  pre_abs : Nncs_interval.Box.t -> Nncs_interval.Box.t;  (** Pre# *)
+  post : float array -> int;  (** Post: network output -> command index *)
+  post_abs : Nncs_interval.Box.t -> int list;  (** Post# *)
+  domain : Nncs_nnabs.Transformer.domain;  (** abstraction used for F# *)
+  nn_splits : int;  (** input bisections inside F# (0 = none) *)
+}
+
+val make :
+  period:float ->
+  commands:Command.set ->
+  networks:Nncs_nn.Network.t array ->
+  select:(int -> int) ->
+  pre:(float array -> float array) ->
+  pre_abs:(Nncs_interval.Box.t -> Nncs_interval.Box.t) ->
+  post:(float array -> int) ->
+  post_abs:(Nncs_interval.Box.t -> int list) ->
+  ?domain:Nncs_nnabs.Transformer.domain ->
+  ?nn_splits:int ->
+  unit ->
+  t
+(** Validates that [select] maps every command index to a valid network
+    index and that the period is positive.  [domain] defaults to
+    [Symbolic], [nn_splits] to 0. *)
+
+val concrete_step : t -> state:float array -> prev_cmd:int -> int
+(** One controller execution: the command index for the next period. *)
+
+val abstract_step : t -> box:Nncs_interval.Box.t -> prev_cmd:int -> int list
+(** Sound set of reachable next-command indices from any sampled state in
+    [box] with the given previous command (stage 2 of the procedure). *)
+
+val abstract_scores :
+  t -> box:Nncs_interval.Box.t -> prev_cmd:int -> Nncs_interval.Box.t
+(** The intermediate p-box [y] = F#(Pre#(box)) before post-processing —
+    used by the influence-guided splitting heuristic. *)
+
+(** {1 Ready-made post-processings} *)
+
+val argmin_post : float array -> int
+(** The ACAS Xu style post-processing: pick the command whose score is
+    minimal (ties to the smallest index). *)
+
+val argmin_post_abs : Nncs_interval.Box.t -> int list
+(** Sound abstraction: command i is reachable iff its score can be
+    lower than or equal to every other score. *)
+
+val argmax_post : float array -> int
+val argmax_post_abs : Nncs_interval.Box.t -> int list
+
+val identity_pre : float array -> float array
+val identity_pre_abs : Nncs_interval.Box.t -> Nncs_interval.Box.t

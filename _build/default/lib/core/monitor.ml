@@ -1,0 +1,78 @@
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+
+type t = { cells : Symstate.t list }
+
+let of_cells cells = { cells }
+
+let of_report report _partition =
+  let proved =
+    List.concat_map
+      (fun (c : Verify.cell_report) ->
+        List.filter_map
+          (fun (l : Verify.leaf) ->
+            if l.Verify.proved then Some l.Verify.state else None)
+          c.Verify.leaves)
+      report.Verify.cells
+  in
+  { cells = proved }
+
+let proved_cell_count m = List.length m.cells
+let accepts m ~state ~cmd = List.exists (fun c -> Symstate.member c state cmd) m.cells
+
+let save m path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# nncs-monitor 1\n";
+      List.iter
+        (fun (c : Symstate.t) ->
+          Printf.fprintf oc "%d" c.Symstate.cmd;
+          Array.iter
+            (fun iv -> Printf.fprintf oc " %h %h" (I.lo iv) (I.hi iv))
+            (B.to_array c.Symstate.box);
+          output_char oc '\n')
+        m.cells)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = try input_line ic with End_of_file -> "" in
+      if header <> "# nncs-monitor 1" then
+        failwith (path ^ ": not a monitor file");
+      let cells = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             let fields =
+               String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+             in
+             match fields with
+             | cmd :: bounds when List.length bounds mod 2 = 0 && bounds <> [] ->
+                 let cmd =
+                   try int_of_string cmd
+                   with Failure _ -> failwith (path ^ ": bad command index")
+                 in
+                 let vals =
+                   List.map
+                     (fun s ->
+                       try float_of_string s
+                       with Failure _ -> failwith (path ^ ": bad float"))
+                     bounds
+                 in
+                 let n = List.length vals / 2 in
+                 let arr = Array.of_list vals in
+                 let box =
+                   B.of_intervals
+                     (Array.init n (fun i -> I.make arr.(2 * i) arr.((2 * i) + 1)))
+                 in
+                 cells := Symstate.make box cmd :: !cells
+             | _ -> failwith (path ^ ": malformed cell line")
+           end
+         done
+       with End_of_file -> ());
+      { cells = List.rev !cells })

@@ -1,0 +1,28 @@
+(** Run-time safety monitor (suggested in Section 7.2 of the paper): a
+    verification report identifies the initial states for which the
+    neural controller was proved safe; at run time, an initial state
+    outside every proved cell triggers a switch to a more conservative
+    fallback.
+
+    The monitor is a pure lookup structure — deciding takes a membership
+    test over the proved cells. *)
+
+type t
+
+val of_cells : Symstate.t list -> t
+(** Monitor accepting exactly the given proved symbolic states. *)
+
+val of_report : Verify.report -> Symstate.t list -> t
+(** Convenience: collect the proved leaves of a verification report run
+    on the given partition (same order). *)
+
+val proved_cell_count : t -> int
+
+val accepts : t -> state:float array -> cmd:int -> bool
+(** Is this concrete initial state covered by a proved cell? *)
+
+val save : t -> string -> unit
+(** Text serialisation (one cell per line: command index then bounds). *)
+
+val load : string -> t
+(** Raises [Failure] on malformed files. *)

@@ -1,0 +1,60 @@
+module B = Nncs_interval.Box
+module Net = Nncs_nn.Network
+
+let encode ~p2 i1 i2 = (i1 * p2) + i2
+let decode ~p2 i = (i / p2, i mod p2)
+
+let append_boxes a b =
+  B.of_intervals (Array.append (B.to_array a) (B.to_array b))
+
+let sub_box box start len =
+  B.of_intervals (Array.sub (B.to_array box) start len)
+
+let product (c1 : Controller.t) (c2 : Controller.t) =
+  if c1.Controller.period <> c2.Controller.period then
+    invalid_arg "Multi.product: periods differ";
+  if c1.Controller.domain <> c2.Controller.domain then
+    invalid_arg "Multi.product: abstract domains differ";
+  let p1 = Command.size c1.Controller.commands in
+  let p2 = Command.size c2.Controller.commands in
+  let commands =
+    Command.make
+      ~names:
+        (Array.init (p1 * p2) (fun i ->
+             let i1, i2 = decode ~p2 i in
+             Command.name c1.Controller.commands i1
+             ^ "|"
+             ^ Command.name c2.Controller.commands i2))
+      (Array.init (p1 * p2) (fun i ->
+           let i1, i2 = decode ~p2 i in
+           Array.append
+             (Command.value c1.Controller.commands i1)
+             (Command.value c2.Controller.commands i2)))
+  in
+  let d1 = Array.length c1.Controller.networks in
+  let d2 = Array.length c2.Controller.networks in
+  let networks =
+    Array.init (d1 * d2) (fun k ->
+        Net.block_product
+          c1.Controller.networks.(k / d2)
+          c2.Controller.networks.(k mod d2))
+  in
+  let out1 = Net.output_dim c1.Controller.networks.(0) in
+  let out2 = Net.output_dim c2.Controller.networks.(0) in
+  Controller.make ~period:c1.Controller.period ~commands ~networks
+    ~select:(fun prev ->
+      let i1, i2 = decode ~p2 prev in
+      (c1.Controller.select i1 * d2) + c2.Controller.select i2)
+    ~pre:(fun s -> Array.append (c1.Controller.pre s) (c2.Controller.pre s))
+    ~pre_abs:(fun box ->
+      append_boxes (c1.Controller.pre_abs box) (c2.Controller.pre_abs box))
+    ~post:(fun y ->
+      let y1 = Array.sub y 0 out1 and y2 = Array.sub y out1 out2 in
+      encode ~p2 (c1.Controller.post y1) (c2.Controller.post y2))
+    ~post_abs:(fun y ->
+      let y1 = sub_box y 0 out1 and y2 = sub_box y out1 out2 in
+      let l1 = c1.Controller.post_abs y1 and l2 = c2.Controller.post_abs y2 in
+      List.concat_map (fun i1 -> List.map (fun i2 -> encode ~p2 i1 i2) l2) l1)
+    ~domain:c1.Controller.domain
+    ~nn_splits:(max c1.Controller.nn_splits c2.Controller.nn_splits)
+    ()

@@ -1,0 +1,21 @@
+(** Multi-agent closed loops (the paper's future-work direction 4):
+    several neural controllers acting on one plant, all executed in the
+    same control period.
+
+    The product of two controllers is again a controller of the paper's
+    model: the command set is the cartesian product, the networks are
+    block-diagonal products (one per pair of selected networks), the
+    pre-processings are concatenated and the post-processings applied to
+    slices of the output — so Algorithm 3 runs unchanged on the
+    composite system. *)
+
+val product : Controller.t -> Controller.t -> Controller.t
+(** Requires equal periods and equal abstract domains.  The product
+    command with index [i1 * P2 + i2] pairs command [i1] of the first
+    controller with command [i2] of the second; the plant must accept
+    the concatenated command vector (input_dim = d1 + d2). *)
+
+val encode : p2:int -> int -> int -> int
+(** [encode ~p2 i1 i2 = i1 * p2 + i2]. *)
+
+val decode : p2:int -> int -> int * int

@@ -1,0 +1,18 @@
+(** Partitioning of the initial set (Section 7.1): a collection of
+    initial symbolic states, each an independent verification problem. *)
+
+val grid : Nncs_interval.Box.t -> cells:int array -> Nncs_interval.Box.t list
+(** Uniform grid subdivision, [cells.(i)] pieces along dimension i.
+    The returned boxes cover the input exactly. *)
+
+val with_command : int -> Nncs_interval.Box.t list -> Symstate.t list
+(** Pair every box with the same initial command. *)
+
+val ring :
+  radius:float ->
+  arcs:int ->
+  arc_index:int ->
+  (float * float) * (float * float)
+(** Bounding intervals [(x_lo, x_hi), (y_lo, y_hi)] of the [arc_index]-th
+    of [arcs] equal arcs of the circle of the given radius — the ribbon
+    cells of Fig. 8.  [arc_index] in [0, arcs). *)

@@ -1,0 +1,148 @@
+module B = Nncs_interval.Box
+
+type config = {
+  integration_steps : int;
+  taylor_order : int;
+  scheme : Nncs_ode.Simulate.scheme;
+  gamma : int;
+  early_abort : bool;
+  keep_sets : bool;
+}
+
+let default_config =
+  {
+    integration_steps = 10;
+    taylor_order = 6;
+    scheme = Nncs_ode.Simulate.Direct;
+    gamma = 5;
+    early_abort = true;
+    keep_sets = true;
+  }
+
+type step_record = {
+  step : int;
+  states_before_resize : int;
+  states_after_resize : int;
+  flow : Symset.t;
+  next : Symset.t;
+}
+
+type outcome =
+  | Proved_safe
+  | Reached_error of { step : int }
+  | Horizon_exhausted
+
+type result = {
+  outcome : outcome;
+  terminated_at : int option;
+  steps : step_record list;
+  max_states : int;
+  total_joins : int;
+}
+
+let is_proved_safe r = r.outcome = Proved_safe
+
+exception Error_contact of int
+
+let analyze ?(config = default_config) sys r0 =
+  if config.integration_steps <= 0 then
+    invalid_arg "Reach.analyze: non-positive integration_steps";
+  let ctrl = sys.System.controller in
+  let plant = sys.System.plant in
+  let num_commands = Command.size ctrl.Controller.commands in
+  let period = ctrl.Controller.period in
+  let q = sys.System.horizon_steps in
+  let steps = ref [] in
+  let max_states = ref (Symset.length r0) in
+  let total_joins = ref 0 in
+  let error_step = ref None in
+  let touch_error j st =
+    if sys.System.erroneous.Spec.intersects_box st then begin
+      if !error_step = None then error_step := Some j;
+      if config.early_abort then raise (Error_contact j)
+    end
+  in
+  (* one control step: from R_j build (R_[j[, R_(j+1)) *)
+  let control_step j rj =
+    let before = Symset.length rj in
+    let rj = Resize.resize ~num_commands ~gamma:config.gamma rj in
+    let after = Symset.length rj in
+    total_joins := !total_joins + (before - after);
+    let active =
+      Symset.filter (fun st -> not (sys.System.target.Spec.contains_box st)) rj
+    in
+    let flow = ref Symset.empty and next = ref Symset.empty in
+    List.iter
+      (fun st ->
+        let u_box = Command.value_box ctrl.Controller.commands st.Symstate.cmd in
+        let sim =
+          Nncs_ode.Simulate.simulate ~scheme:config.scheme plant
+            ~t0:(float_of_int j *. period)
+            ~period ~steps:config.integration_steps ~order:config.taylor_order
+            ~state:st.Symstate.box ~inputs:u_box
+        in
+        (* R_[j[ : every sub-step enclosure, carrying the current command *)
+        Array.iter
+          (fun piece ->
+            let fst_ = Symstate.make piece st.Symstate.cmd in
+            touch_error j fst_;
+            flow := Symset.add fst_ !flow)
+          sim.Nncs_ode.Simulate.pieces;
+        (* R_(j+1) : endpoint box paired with each reachable command *)
+        let cmds =
+          Controller.abstract_step ctrl ~box:st.Symstate.box
+            ~prev_cmd:st.Symstate.cmd
+        in
+        List.iter
+          (fun c ->
+            let nst = Symstate.make sim.Nncs_ode.Simulate.endpoint c in
+            touch_error j nst;
+            next := Symset.add nst !next)
+          cmds)
+      active;
+    (after, before, !flow, !next)
+  in
+  let record j before after flow next =
+    max_states := max !max_states (max before (Symset.length next));
+    steps :=
+      {
+        step = j;
+        states_before_resize = before;
+        states_after_resize = after;
+        flow = (if config.keep_sets then flow else Symset.empty);
+        next = (if config.keep_sets then next else Symset.empty);
+      }
+      :: !steps
+  in
+  let finish outcome terminated_at =
+    let outcome =
+      match (!error_step, outcome) with
+      | Some j, _ -> Reached_error { step = j }
+      | None, o -> o
+    in
+    {
+      outcome;
+      terminated_at;
+      steps = List.rev !steps;
+      max_states = !max_states;
+      total_joins = !total_joins;
+    }
+  in
+  let rec loop j rj =
+    if Symset.for_all (fun st -> sys.System.target.Spec.contains_box st) rj
+    then
+      (* no more symbolic states to propagate: C terminated *)
+      finish Proved_safe (Some j)
+    else if j >= q then finish Horizon_exhausted None
+    else begin
+      let after, before, flow, next = control_step j rj in
+      record j before after flow next;
+      loop (j + 1) next
+    end
+  in
+  try loop 0 r0 with Error_contact j -> finish (Reached_error { step = j }) None
+
+let flow_union r =
+  List.fold_left
+    (fun acc sr -> Symset.union sr.flow (Symset.union sr.next acc))
+    Symset.empty r.steps

@@ -1,0 +1,57 @@
+(** Algorithm 3: reachability analysis of the closed-loop system.
+
+    Iterates the controller steps; for each symbolic state the plant flow
+    is over-approximated by validated simulation (Algorithm 1) and the
+    controller by abstract interpretation; the set of symbolic states is
+    kept below Gamma by Algorithm 2.  The verdict is [Proved_safe] only
+    when the reachable over-approximation avoids E {e and} the system
+    provably terminates in T within the horizon (the conjunction returned
+    by Algorithm 3). *)
+
+type config = {
+  integration_steps : int;  (** M of Algorithm 1 *)
+  taylor_order : int;  (** order of the validated integrator *)
+  scheme : Nncs_ode.Simulate.scheme;
+      (** validated-integration scheme (direct Taylor or Loehner) *)
+  gamma : int;  (** Gamma of Algorithm 2 *)
+  early_abort : bool;  (** stop at the first contact with E *)
+  keep_sets : bool;  (** retain per-step symbolic sets in the result *)
+}
+
+val default_config : config
+(** M = 10 and Gamma = P = 5 (the paper's experimental setup), Taylor
+    order 6, direct scheme, early abort, sets kept. *)
+
+type step_record = {
+  step : int;  (** j *)
+  states_before_resize : int;
+  states_after_resize : int;
+  flow : Symset.t;  (** R_[j[ (empty when [keep_sets] is false) *)
+  next : Symset.t;  (** R_(j+1) (empty when [keep_sets] is false) *)
+}
+
+type outcome =
+  | Proved_safe  (** no contact with E and termination proved *)
+  | Reached_error of { step : int }
+      (** the over-approximation touches E during control step [step] —
+          the system is {e not proved} safe (it may still be safe) *)
+  | Horizon_exhausted
+      (** no contact with E but termination within tau not established *)
+
+type result = {
+  outcome : outcome;
+  terminated_at : int option;  (** j_end when termination was detected *)
+  steps : step_record list;  (** chronological *)
+  max_states : int;  (** peak size of R_j *)
+  total_joins : int;  (** joins performed by Algorithm 2 overall *)
+}
+
+val is_proved_safe : result -> bool
+
+val analyze : ?config:config -> System.t -> Symset.t -> result
+(** [analyze system r0] with [r0] the symbolic set enclosing the initial
+    states.  May raise {!Nncs_ode.Apriori.Enclosure_failure} if the
+    validated integrator cannot enclose the flow (step too large). *)
+
+val flow_union : result -> Symset.t
+(** The over-approximation R_[0,tau] (requires [keep_sets]). *)

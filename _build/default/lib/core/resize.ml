@@ -1,0 +1,66 @@
+(* Joining the two globally closest same-command states, repeatedly.  The
+   sets involved are small (Gamma is typically 5-50), so the quadratic
+   re-scan per join is not worth optimising away. *)
+
+let closest_pair group =
+  (* smallest center distance among pairs of one command group *)
+  let best = ref None in
+  let arr = Array.of_list group in
+  let n = Array.length arr in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let d = Symstate.distance arr.(i) arr.(j) in
+      match !best with
+      | Some (bd, _, _) when bd <= d -> ()
+      | _ -> best := Some (d, arr.(i), arr.(j))
+    done
+  done;
+  !best
+
+let check_feasible ~num_commands ~gamma set =
+  let distinct =
+    Symset.group_by_command ~num_commands set
+    |> Array.to_list
+    |> List.filter (fun g -> g <> [])
+    |> List.length
+  in
+  if gamma < distinct then
+    invalid_arg
+      (Printf.sprintf
+         "Resize.resize: gamma (%d) below the number of distinct commands \
+          (%d); joining cannot reach the threshold (Remark 3)"
+         gamma distinct)
+
+let resize ~num_commands ~gamma set =
+  if gamma <= 0 then invalid_arg "Resize.resize: non-positive gamma";
+  let rec go set =
+    if Symset.length set <= gamma then set
+    else begin
+      check_feasible ~num_commands ~gamma set;
+      let groups = Symset.group_by_command ~num_commands set in
+      (* the two closest states overall necessarily share a command *)
+      let best = ref None in
+      Array.iter
+        (fun g ->
+          match closest_pair g with
+          | None -> ()
+          | Some (d, a, b) -> (
+              match !best with
+              | Some (bd, _, _) when bd <= d -> ()
+              | _ -> best := Some (d, a, b)))
+        groups;
+      match !best with
+      | None ->
+          (* no same-command pair exists: check_feasible guarantees this
+             cannot happen when length > gamma >= distinct commands *)
+          assert false
+      | Some (_, a, b) ->
+          let joined = Symstate.join a b in
+          let rest = List.filter (fun st -> st != a && st != b) set in
+          go (joined :: rest)
+    end
+  in
+  go set
+
+let joins_performed ~num_commands ~gamma set =
+  max 0 (Symset.length (resize ~num_commands ~gamma set) |> fun k -> Symset.length set - k)

@@ -1,0 +1,15 @@
+(** Algorithm 2: keep the number of symbolic states in a symbolic set
+    below the threshold Gamma by repeatedly joining the two closest
+    states that share a command (Definitions 9 and 10).
+
+    The result always represents a superset of the input (joins only
+    enlarge), so using it inside the reachability loop preserves
+    soundness. *)
+
+val resize : num_commands:int -> gamma:int -> Symset.t -> Symset.t
+(** Raises [Invalid_argument] when [gamma] is smaller than the number of
+    distinct commands present (Remark 3: two states with different
+    commands cannot be joined). *)
+
+val joins_performed : num_commands:int -> gamma:int -> Symset.t -> int
+(** Number of join operations resize would perform (for reporting). *)

@@ -1,0 +1,96 @@
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+
+type t = {
+  name : string;
+  contains_box : Symstate.t -> bool;
+  intersects_box : Symstate.t -> bool;
+  contains_point : float array -> int -> bool;
+}
+
+let make ~name ~contains_box ~intersects_box ~contains_point =
+  { name; contains_box; intersects_box; contains_point }
+
+let nothing =
+  {
+    name = "nothing";
+    contains_box = (fun _ -> false);
+    intersects_box = (fun _ -> false);
+    contains_point = (fun _ _ -> false);
+  }
+
+(* Exact range of sqrt(s_i^2 + s_j^2) over a box: [mig; mag] of the two
+   coordinates give the min/max of the radius on an axis-aligned box. *)
+let radius_range st (i, j) =
+  let bi = B.get st.Symstate.box i and bj = B.get st.Symstate.box j in
+  let lo = sqrt ((I.mig bi *. I.mig bi) +. (I.mig bj *. I.mig bj)) in
+  let hi = sqrt ((I.mag bi *. I.mag bi) +. (I.mag bj *. I.mag bj)) in
+  (lo, hi)
+
+(* A couple of ulps of margin on the radius comparisons keeps the
+   "certainly" tests conservative despite the float sqrt. *)
+let eps_rel = 1e-12
+
+let norm2_lt ~name ~dims ~radius =
+  {
+    name;
+    contains_box =
+      (fun st ->
+        let _, hi = radius_range st dims in
+        hi *. (1.0 +. eps_rel) < radius);
+    intersects_box =
+      (fun st ->
+        let lo, _ = radius_range st dims in
+        lo *. (1.0 -. eps_rel) < radius);
+    contains_point =
+      (fun s _ ->
+        let i, j = dims in
+        sqrt ((s.(i) *. s.(i)) +. (s.(j) *. s.(j))) < radius);
+  }
+
+let norm2_gt ~name ~dims ~radius =
+  {
+    name;
+    contains_box =
+      (fun st ->
+        let lo, _ = radius_range st dims in
+        lo *. (1.0 -. eps_rel) > radius);
+    intersects_box =
+      (fun st ->
+        let _, hi = radius_range st dims in
+        hi *. (1.0 +. eps_rel) > radius);
+    contains_point =
+      (fun s _ ->
+        let i, j = dims in
+        sqrt ((s.(i) *. s.(i)) +. (s.(j) *. s.(j))) > radius);
+  }
+
+let coord_lt ~name ~dim ~bound =
+  {
+    name;
+    contains_box = (fun st -> I.hi (B.get st.Symstate.box dim) < bound);
+    intersects_box = (fun st -> I.lo (B.get st.Symstate.box dim) < bound);
+    contains_point = (fun s _ -> s.(dim) < bound);
+  }
+
+let coord_gt ~name ~dim ~bound =
+  {
+    name;
+    contains_box = (fun st -> I.lo (B.get st.Symstate.box dim) > bound);
+    intersects_box = (fun st -> I.hi (B.get st.Symstate.box dim) > bound);
+    contains_point = (fun s _ -> s.(dim) > bound);
+  }
+
+let union ~name a b =
+  {
+    name;
+    (* certainly-contained in a union is under-approximated by being
+       certainly contained in one of the members: sound for pruning *)
+    contains_box = (fun st -> a.contains_box st || b.contains_box st);
+    intersects_box = (fun st -> a.intersects_box st || b.intersects_box st);
+    contains_point = (fun s u -> a.contains_point s u || b.contains_point s u);
+  }
+
+let outside_interval ~name ~dim ~lo ~hi =
+  union ~name (coord_lt ~name:(name ^ "-lo") ~dim ~bound:lo)
+    (coord_gt ~name:(name ^ "-hi") ~dim ~bound:hi)

@@ -1,0 +1,46 @@
+(** State-space regions used in specifications: the erroneous set E and
+    the target (termination) set T of Section 4.1.
+
+    A region must answer three questions soundly:
+    - does it {e certainly} contain a whole symbolic state (used to stop
+      propagating states inside T),
+    - does it {e possibly} intersect a symbolic state (used to detect
+      that the reachable over-approximation touches E),
+    - does it contain a concrete state (used by concrete simulation).
+
+    "Certainly" may err towards [false] and "possibly" towards [true]
+    without breaking soundness of the verification verdict. *)
+
+type t = {
+  name : string;
+  contains_box : Symstate.t -> bool;
+  intersects_box : Symstate.t -> bool;
+  contains_point : float array -> int -> bool;
+}
+
+val make :
+  name:string ->
+  contains_box:(Symstate.t -> bool) ->
+  intersects_box:(Symstate.t -> bool) ->
+  contains_point:(float array -> int -> bool) ->
+  t
+
+val nothing : t
+(** The empty region (never contained, never intersected). *)
+
+val norm2_lt : name:string -> dims:int * int -> radius:float -> t
+(** [{ (s, u) | sqrt (s_i^2 + s_j^2) < radius }] — e.g. the ACAS Xu
+    collision cylinder around the ownship. *)
+
+val norm2_gt : name:string -> dims:int * int -> radius:float -> t
+(** [{ (s, u) | sqrt (s_i^2 + s_j^2) > radius }] — e.g. the intruder
+    leaving sensor range. *)
+
+val coord_lt : name:string -> dim:int -> bound:float -> t
+(** [{ (s, u) | s_dim < bound }]. *)
+
+val coord_gt : name:string -> dim:int -> bound:float -> t
+val outside_interval : name:string -> dim:int -> lo:float -> hi:float -> t
+(** [{ (s, u) | s_dim < lo \/ s_dim > hi }] — "leaves the safe range". *)
+
+val union : name:string -> t -> t -> t

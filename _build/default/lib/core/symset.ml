@@ -1,0 +1,44 @@
+module B = Nncs_interval.Box
+
+type t = Symstate.t list
+
+let empty = []
+let of_list l = l
+let length = List.length
+let is_empty = function [] -> true | _ :: _ -> false
+let union = List.rev_append
+let add st set = st :: set
+let member set s u = List.exists (fun st -> Symstate.member st s u) set
+let for_all = List.for_all
+let exists = List.exists
+let filter = List.filter
+let partition = List.partition
+
+let group_by_command ~num_commands set =
+  let groups = Array.make num_commands [] in
+  List.iter
+    (fun st ->
+      let c = st.Symstate.cmd in
+      if c >= num_commands then
+        invalid_arg "Symset.group_by_command: command index out of range";
+      groups.(c) <- st :: groups.(c))
+    set;
+  groups
+
+let hull_box = function
+  | [] -> None
+  | st :: rest ->
+      Some
+        (List.fold_left
+           (fun acc s -> B.hull acc s.Symstate.box)
+           st.Symstate.box rest)
+
+let max_width set =
+  List.fold_left (fun m st -> Float.max m (B.max_width st.Symstate.box)) 0.0 set
+
+let pp ~commands fmt set =
+  Format.fprintf fmt "@[<v 2>{%d symbolic states:%a}@]" (length set)
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ";")
+       (fun f st -> Format.fprintf f "@ %a" (Symstate.pp ~commands) st))
+    set

@@ -1,0 +1,28 @@
+(** Symbolic sets (Definition 8): finite collections of symbolic states,
+    approximating a set of closed-loop states. *)
+
+type t = Symstate.t list
+
+val empty : t
+val of_list : Symstate.t list -> t
+val length : t -> int
+val is_empty : t -> bool
+val union : t -> t -> t
+val add : Symstate.t -> t -> t
+val member : t -> float array -> int -> bool
+(** Does some symbolic state represent the concrete state? *)
+
+val for_all : (Symstate.t -> bool) -> t -> bool
+val exists : (Symstate.t -> bool) -> t -> bool
+val filter : (Symstate.t -> bool) -> t -> t
+val partition : (Symstate.t -> bool) -> t -> t * t
+val group_by_command : num_commands:int -> t -> Symstate.t list array
+(** The groups G_i of Algorithm 2 (index = command index). *)
+
+val hull_box : t -> Nncs_interval.Box.t option
+(** Hull of all boxes, ignoring commands; [None] on the empty set. *)
+
+val max_width : t -> float
+(** Largest box width over the set (0 when empty). *)
+
+val pp : commands:Command.set -> Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+module B = Nncs_interval.Box
+
+type t = { box : B.t; cmd : int }
+
+let make box cmd =
+  if cmd < 0 then invalid_arg "Symstate.make: negative command index";
+  { box; cmd }
+
+let member st s u = st.cmd = u && B.contains st.box s
+let subset a b = a.cmd = b.cmd && B.subset a.box b.box
+
+let distance a b =
+  if a.cmd <> b.cmd then
+    invalid_arg "Symstate.distance: commands differ";
+  B.distance_centers a.box b.box
+
+let join a b =
+  if a.cmd <> b.cmd then invalid_arg "Symstate.join: commands differ";
+  { box = B.hull a.box b.box; cmd = a.cmd }
+
+let split st dims = List.map (fun b -> { st with box = b }) (B.split_dims st.box dims)
+
+let pp ~commands fmt st =
+  Format.fprintf fmt "@[<hov 2>(%a,@ %s)@]" B.pp st.box
+    (Command.name commands st.cmd)

@@ -1,0 +1,26 @@
+(** Symbolic states (Definition 7): a box of plant states paired with one
+    command index.  Represents the set
+    [{ (s, u) | s in box, u = command cmd }]. *)
+
+type t = { box : Nncs_interval.Box.t; cmd : int }
+
+val make : Nncs_interval.Box.t -> int -> t
+val member : t -> float array -> int -> bool
+(** Is the concrete state (s, u) represented? *)
+
+val subset : t -> t -> bool
+(** Same command and box inclusion. *)
+
+val distance : t -> t -> float
+(** Squared euclidean distance between box centers (Definition 9); only
+    meaningful between states with the same command — raises
+    [Invalid_argument] otherwise. *)
+
+val join : t -> t -> t
+(** Definition 10: hull of the boxes; requires equal commands (raises
+    [Invalid_argument] otherwise). *)
+
+val split : t -> int list -> t list
+(** Bisect the box along the listed dimensions (for refinement). *)
+
+val pp : commands:Command.set -> Format.formatter -> t -> unit

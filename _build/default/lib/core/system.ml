@@ -1,0 +1,18 @@
+type t = {
+  plant : Nncs_ode.Ode.system;
+  controller : Controller.t;
+  erroneous : Spec.t;
+  target : Spec.t;
+  horizon_steps : int;
+}
+
+let make ~plant ~controller ~erroneous ~target ~horizon_steps =
+  if horizon_steps <= 0 then invalid_arg "System.make: non-positive horizon";
+  if plant.Nncs_ode.Ode.input_dim <> Command.dim controller.Controller.commands
+  then
+    invalid_arg
+      "System.make: plant input dimension does not match command dimension";
+  { plant; controller; erroneous; target; horizon_steps }
+
+let period sys = sys.controller.Controller.period
+let horizon sys = float_of_int sys.horizon_steps *. period sys

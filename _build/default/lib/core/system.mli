@@ -1,0 +1,25 @@
+(** The closed-loop system C = (P, N) of Section 4.1 together with its
+    specification: initial set approximation, erroneous set E, target set
+    T and time horizon tau = q * T. *)
+
+type t = {
+  plant : Nncs_ode.Ode.system;
+  controller : Controller.t;
+  erroneous : Spec.t;  (** E *)
+  target : Spec.t;  (** T *)
+  horizon_steps : int;  (** q, so tau = q * controller.period *)
+}
+
+val make :
+  plant:Nncs_ode.Ode.system ->
+  controller:Controller.t ->
+  erroneous:Spec.t ->
+  target:Spec.t ->
+  horizon_steps:int ->
+  t
+(** Validates that the plant's input dimension matches the command
+    dimension and that the horizon is positive. *)
+
+val period : t -> float
+val horizon : t -> float
+(** tau in seconds. *)

@@ -1,0 +1,164 @@
+type split_strategy =
+  | All_dims of int list
+  | Most_influential of { candidates : int list; take : int }
+
+type config = {
+  reach : Reach.config;
+  strategy : split_strategy;
+  max_depth : int;
+  workers : int;
+}
+
+let default_config =
+  {
+    reach = { Reach.default_config with keep_sets = false };
+    strategy = All_dims [ 0; 1; 2 ];
+    max_depth = 2;
+    workers = 1;
+  }
+
+(* Influence of a dimension on the controller decision: bisect the cell
+   along it and measure how wide the abstract score box F#(Pre#(half))
+   stays — the dimension whose bisection tightens the scores the most is
+   the most influential (a one-step lookahead of the paper's suggested
+   heuristic). *)
+let influence_order sys (cell : Symstate.t) candidates =
+  let ctrl = sys.System.controller in
+  let score dim =
+    let l, r = Nncs_interval.Box.bisect cell.Symstate.box dim in
+    let width_of half =
+      Nncs_interval.Box.max_width
+        (Controller.abstract_scores ctrl ~box:half ~prev_cmd:cell.Symstate.cmd)
+    in
+    0.5 *. (width_of l +. width_of r)
+  in
+  let scored = List.map (fun d -> (d, score d)) candidates in
+  List.map fst (List.sort (fun (_, a) (_, b) -> compare a b) scored)
+
+let dims_to_split config sys cell =
+  match config.strategy with
+  | All_dims dims -> dims
+  | Most_influential { candidates; take } ->
+      let take = max 1 (min take (List.length candidates)) in
+      List.filteri (fun i _ -> i < take) (influence_order sys cell candidates)
+
+type leaf = {
+  state : Symstate.t;
+  depth : int;
+  proved : bool;
+  outcome : Reach.outcome;
+  elapsed : float;
+}
+
+type cell_report = {
+  index : int;
+  leaves : leaf list;
+  proved_fraction : float;
+  elapsed : float;
+}
+
+type report = {
+  cells : cell_report list;
+  coverage : float;
+  elapsed : float;
+  proved_cells : int;
+  total_cells : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let run_reach config sys st =
+  let t0 = now () in
+  let r = Reach.analyze ~config:config.reach sys (Symset.of_list [ st ]) in
+  (r, now () -. t0)
+
+let strategy_arity = function
+  | All_dims dims -> List.length dims
+  | Most_influential { take; candidates } ->
+      max 1 (min take (List.length candidates))
+
+let verify_cell ?(config = default_config) sys cell =
+  if config.max_depth < 0 then invalid_arg "Verify.verify_cell: negative depth";
+  (match config.strategy with
+  | All_dims [] | Most_influential { candidates = []; _ }
+    when config.max_depth > 0 ->
+      invalid_arg "Verify.verify_cell: no split dimensions"
+  | All_dims _ | Most_influential _ -> ());
+  let factor = float_of_int (1 lsl strategy_arity config.strategy) in
+  let rec go depth st =
+    let r, dt = run_reach config sys st in
+    if Reach.is_proved_safe r || depth >= config.max_depth then
+      [ { state = st; depth; proved = Reach.is_proved_safe r; outcome = r.Reach.outcome; elapsed = dt } ]
+    else
+      (* split refinement along the strategy's dimensions for this cell *)
+      List.concat_map (go (depth + 1))
+        (Symstate.split st (dims_to_split config sys st))
+  in
+  let t0 = now () in
+  let leaves = go 0 cell in
+  let proved_fraction =
+    List.fold_left
+      (fun acc leaf ->
+        if leaf.proved then acc +. (1.0 /. (factor ** float_of_int leaf.depth))
+        else acc)
+      0.0 leaves
+  in
+  { index = 0; leaves; proved_fraction; elapsed = now () -. t0 }
+
+let coverage_of_cells cells =
+  match cells with
+  | [] -> 100.0
+  | _ ->
+      100.0
+      *. List.fold_left (fun acc c -> acc +. c.proved_fraction) 0.0 cells
+      /. float_of_int (List.length cells)
+
+let chunk_indices total workers =
+  (* round-robin assignment keeps similar-cost neighbouring cells spread
+     across workers *)
+  List.init workers (fun w ->
+      List.filter (fun i -> i mod workers = w) (List.init total Fun.id))
+
+let verify_partition ?(config = default_config) ?progress sys cells =
+  let t0 = now () in
+  let cells_arr = Array.of_list cells in
+  let total = Array.length cells_arr in
+  let results = Array.make total None in
+  let done_count = ref 0 in
+  let run_one i =
+    let r = { (verify_cell ~config sys cells_arr.(i)) with index = i } in
+    r
+  in
+  if config.workers <= 1 || total <= 1 then
+    Array.iteri
+      (fun i _ ->
+        results.(i) <- Some (run_one i);
+        incr done_count;
+        match progress with Some f -> f !done_count total | None -> ())
+      cells_arr
+  else begin
+    let chunks = chunk_indices total (min config.workers total) in
+    let domains =
+      List.map
+        (fun idxs ->
+          Domain.spawn (fun () -> List.map (fun i -> (i, run_one i)) idxs))
+        chunks
+    in
+    List.iter
+      (fun d ->
+        List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join d))
+      domains;
+    match progress with Some f -> f total total | None -> ()
+  end;
+  let cell_reports =
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  in
+  {
+    cells = cell_reports;
+    coverage = coverage_of_cells cell_reports;
+    elapsed = now () -. t0;
+    proved_cells =
+      List.length (List.filter (fun c -> c.proved_fraction >= 1.0 -. 1e-12) cell_reports);
+    total_cells = total;
+  }

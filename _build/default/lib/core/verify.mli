@@ -1,0 +1,65 @@
+(** The outer verification driver of Section 7.1: run the reachability
+    analysis independently on every cell of the initial-state partition;
+    when a cell cannot be proved safe, bisect it along the configured
+    dimensions and retry, up to a maximum refinement depth; account
+    coverage with the paper's formula
+    [c = 100/K0 * sum_d n_d / f^d] where [f = 2^|split_dims|]. *)
+
+type split_strategy =
+  | All_dims of int list
+      (** bisect along every listed dimension (the paper's experiment:
+          2^3 children per refinement) *)
+  | Most_influential of { candidates : int list; take : int }
+      (** the paper's future-work heuristic: rank the candidate
+          dimensions by how much bisecting them tightens the abstract
+          controller scores on the cell, and bisect only the [take] most
+          influential ones (2^take children) *)
+
+type config = {
+  reach : Reach.config;
+  strategy : split_strategy;
+  max_depth : int;  (** maximum number of refinements (paper: 2) *)
+  workers : int;  (** parallel domains for independent cells (>= 1) *)
+}
+
+val default_config : config
+(** Paper setup: reach defaults, [All_dims [0;1;2]], depth 2, serial. *)
+
+type leaf = {
+  state : Symstate.t;  (** the (possibly refined) initial cell *)
+  depth : int;
+  proved : bool;
+  outcome : Reach.outcome;
+  elapsed : float;  (** seconds spent on this leaf's reachability *)
+}
+
+type cell_report = {
+  index : int;  (** position of the cell in the input partition *)
+  leaves : leaf list;
+  proved_fraction : float;  (** sum over proved leaves of f^-depth *)
+  elapsed : float;
+}
+
+type report = {
+  cells : cell_report list;
+  coverage : float;  (** percent, the paper's c *)
+  elapsed : float;
+  proved_cells : int;  (** cells with proved_fraction = 1 *)
+  total_cells : int;
+}
+
+val verify_cell : ?config:config -> System.t -> Symstate.t -> cell_report
+(** Verify one initial cell with split refinement; [index] is 0. *)
+
+val verify_partition :
+  ?config:config -> ?progress:(int -> int -> unit) -> System.t ->
+  Symstate.t list -> report
+(** Verify every cell of the partition ([progress done total] is called
+    after each cell when provided).  Cells are independent; with
+    [workers > 1] they are processed by that many domains in parallel. *)
+
+val coverage_of_cells : cell_report list -> float
+
+val influence_order : System.t -> Symstate.t -> int list -> int list
+(** The candidate dimensions sorted from most to least influential (see
+    {!Most_influential}); exposed for tests and diagnostics. *)

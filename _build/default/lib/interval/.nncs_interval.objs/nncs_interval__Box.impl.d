@@ -1,0 +1,1 @@
+lib/interval/box.ml: Array Float Format Interval List

@@ -1,0 +1,1 @@
+lib/interval/box.mli: Format Interval

@@ -1,0 +1,1 @@
+lib/interval/interval_matrix.ml: Array Box Float Format Interval

@@ -1,0 +1,1 @@
+lib/interval/interval_matrix.mli: Box Format Interval

@@ -1,0 +1,1 @@
+lib/interval/rounding.ml: Float Int64

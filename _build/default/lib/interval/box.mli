@@ -1,0 +1,57 @@
+(** Axis-aligned boxes: cartesian products of intervals. *)
+
+type t
+(** Immutable n-dimensional box, n >= 1. *)
+
+val of_intervals : Interval.t array -> t
+(** The array is copied. Raises [Invalid_argument] on an empty array. *)
+
+val of_point : float array -> t
+(** Degenerate box. *)
+
+val of_bounds : (float * float) array -> t
+val dim : t -> int
+val get : t -> int -> Interval.t
+val to_array : t -> Interval.t array
+(** Fresh copy. *)
+
+val lo : t -> float array
+val hi : t -> float array
+val center : t -> float array
+val corners : t -> float array list
+(** The 2^n corner points (n <= 20 enforced). *)
+
+val map : (Interval.t -> Interval.t) -> t -> t
+val mapi : (int -> Interval.t -> Interval.t) -> t -> t
+val replace : t -> int -> Interval.t -> t
+(** Functional update of one coordinate. *)
+
+val contains : t -> float array -> bool
+val subset : t -> t -> bool
+val intersects : t -> t -> bool
+val equal : t -> t -> bool
+val hull : t -> t -> t
+val meet : t -> t -> t option
+val inflate : t -> float -> t
+val max_width : t -> float
+(** Width of the widest coordinate. *)
+
+val widest_dim : t -> int
+val widths : t -> float array
+val volume : t -> float
+(** Upper bound on the volume (product of widths); 0 for degenerate. *)
+
+val bisect : t -> int -> t * t
+(** Split along the given dimension at its midpoint. *)
+
+val bisect_widest : t -> t * t
+
+val split_dims : t -> int list -> t list
+(** Bisect along each of the listed dimensions (cartesian product of the
+    halves): [split_dims b [i; j]] yields 4 sub-boxes. *)
+
+val distance_centers : t -> t -> float
+(** Squared euclidean distance between centers (Definition 9). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,182 @@
+type t = { lo : float; hi : float }
+
+exception Empty_meet
+exception Division_by_zero_interval
+
+module R = Rounding
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Interval.make: invalid bounds [%h, %h]" lo hi)
+  else { lo; hi }
+
+let of_float x =
+  if Float.is_nan x then invalid_arg "Interval.of_float: nan" else { lo = x; hi = x }
+
+let zero = { lo = 0.0; hi = 0.0 }
+let one = { lo = 1.0; hi = 1.0 }
+
+(* 3.14159265358979311599... < pi < 3.14159265358979356009... *)
+let pi =
+  let p = 4.0 *. Float.atan 1.0 in
+  { lo = R.next_down p; hi = R.next_up p }
+
+let two_pi = { lo = R.next_down (2.0 *. pi.lo); hi = R.next_up (2.0 *. pi.hi) }
+let half_pi = { lo = R.next_down (0.5 *. pi.lo); hi = R.next_up (0.5 *. pi.hi) }
+let entire = { lo = Float.neg_infinity; hi = Float.infinity }
+let lo x = x.lo
+let hi x = x.hi
+let mid x =
+  if x.lo = Float.neg_infinity && x.hi = Float.infinity then 0.0
+  else if x.lo = Float.neg_infinity then x.hi
+  else if x.hi = Float.infinity then x.lo
+  else
+    let m = 0.5 *. (x.lo +. x.hi) in
+    if m < x.lo then x.lo else if m > x.hi then x.hi else m
+
+let width x = R.sub_up x.hi x.lo
+let rad x = 0.5 *. width x
+let mag x = Float.max (Float.abs x.lo) (Float.abs x.hi)
+
+let mig x =
+  if x.lo <= 0.0 && x.hi >= 0.0 then 0.0
+  else Float.min (Float.abs x.lo) (Float.abs x.hi)
+
+let contains x v = x.lo <= v && v <= x.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let intersects a b = a.lo <= b.hi && b.lo <= a.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let meet a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let meet_exn a b = match meet a b with Some m -> m | None -> raise Empty_meet
+
+let bisect x =
+  let m = mid x in
+  ({ lo = x.lo; hi = m }, { lo = m; hi = x.hi })
+
+let inflate x eps =
+  if eps < 0.0 then invalid_arg "Interval.inflate: negative epsilon";
+  { lo = R.sub_down x.lo eps; hi = R.add_up x.hi eps }
+
+let is_degenerate x = x.lo = x.hi
+let is_bounded x = Float.is_finite x.lo && Float.is_finite x.hi
+let neg x = { lo = -.x.hi; hi = -.x.lo }
+let add a b = { lo = R.add_down a.lo b.lo; hi = R.add_up a.hi b.hi }
+let sub a b = { lo = R.sub_down a.lo b.hi; hi = R.sub_up a.hi b.lo }
+
+(* Products of endpoint pairs; 0 * inf is treated as 0 since an infinite
+   endpoint only arises from unbounded intervals where the other factor
+   bound still applies. *)
+let ( *.. ) a b =
+  let p = a *. b in
+  if Float.is_nan p then 0.0 else p
+
+let mul a b =
+  let p1 = a.lo *.. b.lo and p2 = a.lo *.. b.hi in
+  let p3 = a.hi *.. b.lo and p4 = a.hi *.. b.hi in
+  let lo = Float.min (Float.min p1 p2) (Float.min p3 p4) in
+  let hi = Float.max (Float.max p1 p2) (Float.max p3 p4) in
+  { lo = R.next_down lo; hi = R.next_up hi }
+
+let inv x =
+  if contains x 0.0 then raise Division_by_zero_interval;
+  { lo = R.div_down 1.0 x.hi; hi = R.div_up 1.0 x.lo }
+
+let div a b =
+  if contains b 0.0 then raise Division_by_zero_interval;
+  mul a (inv b)
+
+let add_float x c = { lo = R.add_down x.lo c; hi = R.add_up x.hi c }
+
+let mul_float c x =
+  if c >= 0.0 then { lo = R.mul_down c x.lo; hi = R.mul_up c x.hi }
+  else { lo = R.mul_down c x.hi; hi = R.mul_up c x.lo }
+
+let sqr x =
+  let m = mig x and g = mag x in
+  { lo = R.mul_down m m; hi = R.mul_up g g }
+
+let sqrt x =
+  if x.hi < 0.0 then invalid_arg "Interval.sqrt: negative interval";
+  let lo = if x.lo <= 0.0 then 0.0 else R.sqrt_down x.lo in
+  { lo; hi = R.sqrt_up x.hi }
+
+let pow_int x n =
+  if n < 0 then invalid_arg "Interval.pow_int: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else
+      let acc = if n land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (n asr 1)
+  in
+  if n = 0 then one
+  else if n land 1 = 0 then
+    (* even power: reduce to |x|^n so the result stays nonnegative tight *)
+    let m = mig x and g = mag x in
+    go one { lo = m; hi = g } n
+  else go one x n
+
+let abs x = { lo = mig x; hi = mag x }
+let min_ a b = { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
+let max_ a b = { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
+let exp x = { lo = Float.max 0.0 (R.lib_down (Float.exp x.lo)); hi = R.lib_up (Float.exp x.hi) }
+
+let log x =
+  if x.hi <= 0.0 then invalid_arg "Interval.log: non-positive interval";
+  let lo =
+    if x.lo <= 0.0 then Float.neg_infinity else R.lib_down (Float.log x.lo)
+  in
+  { lo; hi = R.lib_up (Float.log x.hi) }
+
+let atan x = { lo = R.lib_down (Float.atan x.lo); hi = R.lib_up (Float.atan x.hi) }
+
+(* Does [a, b] possibly contain a point k * p (k integer)?  The quotients
+   are computed in round-to-nearest and the test is padded with an
+   absolute slack, so it can only err towards "yes" for the magnitudes
+   (|a|, |b| < 1e6) used here, which merely widens enclosures. *)
+let maybe_contains_multiple p a b =
+  let slack = 1e-9 in
+  let q1 = Float.ceil ((a /. p) -. slack) and q2 = Float.floor ((b /. p) +. slack) in
+  q2 >= q1
+
+let clamp_unit x = { lo = Float.max (-1.0) x.lo; hi = Float.min 1.0 x.hi }
+
+let cos x =
+  if not (is_bounded x) || width x >= two_pi.lo then { lo = -1.0; hi = 1.0 }
+  else
+    let ca = Float.cos x.lo and cb = Float.cos x.hi in
+    let lo = R.lib_down (Float.min ca cb) and hi = R.lib_up (Float.max ca cb) in
+    (* max 1 reached at even multiples of pi, min -1 at odd multiples *)
+    let hi = if maybe_contains_multiple two_pi.lo x.lo x.hi then 1.0 else hi in
+    let lo =
+      if maybe_contains_multiple two_pi.lo (x.lo -. pi.lo) (x.hi -. pi.lo) then -1.0 else lo
+    in
+    clamp_unit { lo; hi }
+
+let sin x = cos (sub x half_pi)
+
+let atan2 y x =
+  let meets_origin = contains x 0.0 && contains y 0.0 in
+  let meets_cut = x.lo < 0.0 && contains y 0.0 in
+  if (not (is_bounded x)) || (not (is_bounded y)) || meets_origin || meets_cut then
+    { lo = -.pi.hi; hi = pi.hi }
+  else
+    (* Away from the origin and the branch cut the extremal angles over a
+       box are attained at its corners (the supporting rays through the
+       origin touch the convex box at vertices). *)
+    let c1 = Float.atan2 y.lo x.lo and c2 = Float.atan2 y.lo x.hi in
+    let c3 = Float.atan2 y.hi x.lo and c4 = Float.atan2 y.hi x.hi in
+    let lo = Float.min (Float.min c1 c2) (Float.min c3 c4) in
+    let hi = Float.max (Float.max c1 c2) (Float.max c3 c4) in
+    {
+      lo = Float.max (-.pi.hi) (R.lib_down lo);
+      hi = Float.min pi.hi (R.lib_up hi);
+    }
+
+let pp fmt x = Format.fprintf fmt "[%.17g, %.17g]" x.lo x.hi
+let to_string x = Format.asprintf "%a" pp x

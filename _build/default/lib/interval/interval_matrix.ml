@@ -1,0 +1,85 @@
+module I = Interval
+
+type t = { rows : int; cols : int; data : I.t array }
+
+let create rows cols v =
+  if rows <= 0 || cols <= 0 then invalid_arg "Interval_matrix.create";
+  { rows; cols; data = Array.make (rows * cols) v }
+
+let init rows cols f =
+  let m = create rows cols I.zero in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let rows m = m.rows
+let cols m = m.cols
+let get m i j = m.data.((i * m.cols) + j)
+
+let of_floats a =
+  init (Array.length a) (Array.length a.(0)) (fun i j -> I.of_float a.(i).(j))
+
+let identity n = init n n (fun i j -> if i = j then I.one else I.zero)
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Interval_matrix.add: dimension mismatch";
+  { a with data = Array.mapi (fun k x -> I.add x b.data.(k)) a.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Interval_matrix.mul: dimension mismatch";
+  init a.rows b.cols (fun i j ->
+      let acc = ref I.zero in
+      for k = 0 to a.cols - 1 do
+        acc := I.add !acc (I.mul (get a i k) (get b k j))
+      done;
+      !acc)
+
+let mul_vec m v =
+  if m.cols <> Array.length v then
+    invalid_arg "Interval_matrix.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref I.zero in
+      for j = 0 to m.cols - 1 do
+        acc := I.add !acc (I.mul (get m i j) v.(j))
+      done;
+      !acc)
+
+let mul_box m b = Box.of_intervals (mul_vec m (Box.to_array b))
+let scale s m = { m with data = Array.map (I.mul s) m.data }
+
+let midpoint m =
+  Array.init m.rows (fun i -> Array.init m.cols (fun j -> I.mid (get m i j)))
+
+let hull a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Interval_matrix.hull: dimension mismatch";
+  { a with data = Array.mapi (fun k x -> I.hull x b.data.(k)) a.data }
+
+let width m = Array.fold_left (fun w x -> Float.max w (I.width x)) 0.0 m.data
+
+let contains m a =
+  try
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j v -> if not (I.contains (get m i j) v) then raise Exit)
+          row)
+      a;
+    true
+  with Exit -> false
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v 1>[";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "@,[";
+    for j = 0 to m.cols - 1 do
+      Format.fprintf fmt "%a;@ " I.pp (get m i j)
+    done;
+    Format.fprintf fmt "]"
+  done;
+  Format.fprintf fmt "]@]"

@@ -1,0 +1,32 @@
+(** Matrices with interval entries — the propagation operators of the
+    Loehner mean-value integrator (enclosures of flow Jacobians). *)
+
+type t
+
+val create : int -> int -> Interval.t -> t
+val init : int -> int -> (int -> int -> Interval.t) -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Interval.t
+val of_floats : float array array -> t
+(** Degenerate intervals. *)
+
+val identity : int -> t
+val transpose : t -> t
+val add : t -> t -> t
+val mul : t -> t -> t
+(** Interval matrix product (sound enclosure of all products of
+    members). *)
+
+val mul_vec : t -> Interval.t array -> Interval.t array
+val mul_box : t -> Box.t -> Box.t
+val scale : Interval.t -> t -> t
+val midpoint : t -> float array array
+(** Entrywise midpoints (a float matrix inside the interval matrix). *)
+
+val hull : t -> t -> t
+val width : t -> float
+(** Largest entry width. *)
+
+val contains : t -> float array array -> bool
+val pp : Format.formatter -> t -> unit

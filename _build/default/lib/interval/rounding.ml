@@ -1,0 +1,49 @@
+(* Directed rounding emulated with ulp nudges on top of round-to-nearest.
+
+   The bit-level successor of a finite IEEE-754 double is obtained by
+   incrementing its payload when positive and decrementing it when
+   negative (symmetrically for the predecessor).  Zero is handled apart
+   because +0.0 and -0.0 share the payload 0. *)
+
+let next_up x =
+  if Float.is_nan x then x
+  else if x = Float.infinity then x
+  else if x = 0.0 then Int64.float_of_bits 1L
+  else
+    let bits = Int64.bits_of_float x in
+    if x > 0.0 then Int64.float_of_bits (Int64.add bits 1L)
+    else Int64.float_of_bits (Int64.sub bits 1L)
+
+let next_down x =
+  if Float.is_nan x then x
+  else if x = Float.neg_infinity then x
+  else if x = 0.0 then Int64.float_of_bits (Int64.add Int64.min_int 1L)
+  else
+    let bits = Int64.bits_of_float x in
+    if x > 0.0 then Int64.float_of_bits (Int64.sub bits 1L)
+    else Int64.float_of_bits (Int64.add bits 1L)
+
+let rec steps_up n x = if n <= 0 then x else steps_up (n - 1) (next_up x)
+let rec steps_down n x = if n <= 0 then x else steps_down (n - 1) (next_down x)
+
+(* +/-/*/÷ and sqrt are correctly rounded by IEEE-754, so the true result
+   lies within one ulp of the computed one: a single nudge suffices.  The
+   nudge is skipped when the operation is exact would be ideal, but
+   detecting exactness costs more than the width it saves. *)
+
+let add_down a b = next_down (a +. b)
+let add_up a b = next_up (a +. b)
+let sub_down a b = next_down (a -. b)
+let sub_up a b = next_up (a -. b)
+let mul_down a b = next_down (a *. b)
+let mul_up a b = next_up (a *. b)
+let div_down a b = next_down (a /. b)
+let div_up a b = next_up (a /. b)
+let sqrt_down a = next_down (sqrt a)
+let sqrt_up a = next_up (sqrt a)
+
+(* libm transcendentals are typically faithful to < 2 ulps; 4 ulps of
+   slack is a comfortable, cheap margin. *)
+
+let lib_down x = steps_down 4 x
+let lib_up x = steps_up 4 x

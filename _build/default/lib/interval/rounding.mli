@@ -1,0 +1,41 @@
+(** Directed rounding primitives for sound interval arithmetic.
+
+    OCaml exposes no portable way to switch the FPU rounding mode, so we
+    emulate outward rounding: every elementary operation is performed in
+    round-to-nearest and the result is then moved one (or a few) units in
+    the last place towards the wanted direction.  This is strictly wider
+    than true directed rounding, hence sound. *)
+
+val next_up : float -> float
+(** Smallest representable float strictly greater than the argument.
+    [next_up infinity = infinity], [next_up nan] is [nan]. *)
+
+val next_down : float -> float
+(** Largest representable float strictly smaller than the argument. *)
+
+val steps_up : int -> float -> float
+(** [steps_up n x] applies {!next_up} [n] times. *)
+
+val steps_down : int -> float -> float
+
+val add_down : float -> float -> float
+(** Lower bound of the exact sum. *)
+
+val add_up : float -> float -> float
+(** Upper bound of the exact sum. *)
+
+val sub_down : float -> float -> float
+val sub_up : float -> float -> float
+val mul_down : float -> float -> float
+val mul_up : float -> float -> float
+val div_down : float -> float -> float
+val div_up : float -> float -> float
+val sqrt_down : float -> float
+val sqrt_up : float -> float
+
+val lib_down : float -> float
+(** Conservative lower adjustment for results of math-library functions
+    (sin, cos, exp, ...) which are accurate to a few ulps but not
+    correctly rounded: moves the value several ulps down. *)
+
+val lib_up : float -> float

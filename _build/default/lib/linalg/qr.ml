@@ -1,0 +1,67 @@
+let decompose a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Qr.decompose: matrix must be square";
+  let r = Mat.copy a in
+  let q = Mat.identity n in
+  (* Householder: for each column k, reflect to zero the sub-diagonal *)
+  for k = 0 to n - 2 do
+    let norm = ref 0.0 in
+    for i = k to n - 1 do
+      let v = Mat.get r i k in
+      norm := !norm +. (v *. v)
+    done;
+    let norm = sqrt !norm in
+    if norm > 1e-300 then begin
+      let alpha = if Mat.get r k k >= 0.0 then -.norm else norm in
+      let v = Array.make n 0.0 in
+      v.(k) <- Mat.get r k k -. alpha;
+      for i = k + 1 to n - 1 do
+        v.(i) <- Mat.get r i k
+      done;
+      let vnorm2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v in
+      if vnorm2 > 1e-300 then begin
+        (* r <- (I - 2 v v^T / |v|^2) r ; q <- q (I - 2 v v^T / |v|^2) *)
+        for j = 0 to n - 1 do
+          let dot = ref 0.0 in
+          for i = k to n - 1 do
+            dot := !dot +. (v.(i) *. Mat.get r i j)
+          done;
+          let c = 2.0 *. !dot /. vnorm2 in
+          for i = k to n - 1 do
+            Mat.set r i j (Mat.get r i j -. (c *. v.(i)))
+          done
+        done;
+        for i = 0 to n - 1 do
+          let dot = ref 0.0 in
+          for j = k to n - 1 do
+            dot := !dot +. (Mat.get q i j *. v.(j))
+          done;
+          let c = 2.0 *. !dot /. vnorm2 in
+          for j = k to n - 1 do
+            Mat.set q i j (Mat.get q i j -. (c *. v.(j)))
+          done
+        done
+      end
+    end
+  done;
+  (q, r)
+
+let orthonormalize a =
+  let n = Mat.rows a in
+  (* sort columns by decreasing euclidean norm (Loehner pivoting) *)
+  let norms =
+    Array.init n (fun j ->
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 do
+          let v = Mat.get a i j in
+          acc := !acc +. (v *. v)
+        done;
+        (j, !acc))
+  in
+  Array.sort (fun (_, x) (_, y) -> compare y x) norms;
+  let permuted = Mat.init n n (fun i j -> Mat.get a i (fst norms.(j))) in
+  let q, r = decompose permuted in
+  (* guard against rank deficiency: a vanishing diagonal entry of R means
+     the column brought no new direction; Q is orthogonal regardless *)
+  ignore r;
+  q

@@ -1,0 +1,16 @@
+(** QR decomposition by Householder reflections.
+
+    Used by the Loehner integrator: the orthogonal factor of the
+    propagated error frame gives a well-conditioned coordinate system in
+    which wrapping is minimised, and its inverse is its transpose — the
+    only matrix inverse that is cheap to bound rigorously. *)
+
+val decompose : Mat.t -> Mat.t * Mat.t
+(** [decompose a] returns [(q, r)] with [a = q * r], [q] orthogonal and
+    [r] upper triangular.  Requires a square matrix. *)
+
+val orthonormalize : Mat.t -> Mat.t
+(** The Q factor only, with columns reordered by decreasing norm of the
+    input columns first (the classical Loehner pivoting, which keeps the
+    dominant error direction best represented). Falls back to identity
+    columns when the input is rank deficient. *)

@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the repo (weight initialisation,
+    dataset shuffling, falsification search) draws from an explicit
+    generator state so runs are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+val next_int64 : t -> int64
+val float : t -> float -> float
+(** [float t b] is uniform in [\[0, b)]. *)
+
+val uniform : t -> float -> float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val int : t -> int -> int
+(** Uniform in [\[0, n)], [n > 0]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** A statistically independent generator derived from [t]. *)

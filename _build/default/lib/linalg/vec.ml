@@ -1,0 +1,80 @@
+type t = float array
+
+let create n v = Array.make n v
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+
+let check_dims a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch" name)
+
+let add a b =
+  check_dims a b "add";
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims a b "sub";
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale s a = Array.map (fun x -> s *. x) a
+
+let axpy a x y =
+  check_dims x y "axpy";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_dims a b "dot";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let hadamard a b =
+  check_dims a b "hadamard";
+  Array.mapi (fun i x -> x *. b.(i)) a
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a =
+  Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 a
+
+let dist2 a b =
+  check_dims a b "dist2";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let map = Array.map
+
+let map2 f a b =
+  check_dims a b "map2";
+  Array.mapi (fun i x -> f x b.(i)) a
+
+let arg_by better a =
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if better a.(i) a.(!best) then best := i
+  done;
+  !best
+
+let argmin a = arg_by ( < ) a
+let argmax a = arg_by ( > ) a
+let min_elt a = Array.fold_left Float.min a.(0) a
+let max_elt a = Array.fold_left Float.max a.(0) a
+let sum a = Array.fold_left ( +. ) 0.0 a
+let mean a = sum a /. float_of_int (Array.length a)
+let of_list = Array.of_list
+
+let pp fmt a =
+  Format.fprintf fmt "@[<hov 1>[%a]@]"
+    (Format.pp_print_array
+       ~pp_sep:(fun f () -> Format.fprintf f ";@ ")
+       (fun f x -> Format.fprintf f "%.6g" x))
+    a

@@ -1,0 +1,31 @@
+(** Dense float vectors (thin helpers over [float array]). *)
+
+type t = float array
+
+val create : int -> float -> t
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] sets [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+val hadamard : t -> t -> t
+val norm2 : t -> float
+val norm_inf : t -> float
+val dist2 : t -> t -> float
+(** Euclidean distance. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val argmin : t -> int
+val argmax : t -> int
+val min_elt : t -> float
+val max_elt : t -> float
+val sum : t -> float
+val mean : t -> float
+val of_list : float list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/nn/dataset.ml: Array List Network Nncs_linalg

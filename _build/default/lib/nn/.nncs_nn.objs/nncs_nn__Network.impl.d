@@ -1,0 +1,1 @@
+lib/nn/network.ml: Activation Array Format List Nncs_linalg Printf

@@ -1,0 +1,1 @@
+lib/nn/nnet_io.ml: Activation Array Fun List Network Nncs_linalg Printf String

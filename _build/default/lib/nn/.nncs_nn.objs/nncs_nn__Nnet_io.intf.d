@@ -1,0 +1,1 @@
+lib/nn/nnet_io.mli: Network

@@ -1,0 +1,1 @@
+lib/nn/train.ml: Activation Array Dataset Float Format List Network Nncs_linalg Printf

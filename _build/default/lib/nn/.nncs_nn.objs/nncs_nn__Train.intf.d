@@ -1,0 +1,1 @@
+lib/nn/train.mli: Dataset Network Nncs_linalg

@@ -1,0 +1,14 @@
+type t = Relu | Linear
+
+let apply f x = match f with Relu -> Float.max 0.0 x | Linear -> x
+
+let derivative f x =
+  match f with Relu -> if x > 0.0 then 1.0 else 0.0 | Linear -> 1.0
+
+let apply_vec f v = match f with Linear -> v | Relu -> Array.map (Float.max 0.0) v
+let to_string = function Relu -> "relu" | Linear -> "linear"
+
+let of_string = function
+  | "relu" -> Relu
+  | "linear" -> Linear
+  | s -> invalid_arg (Printf.sprintf "Activation.of_string: unknown %S" s)

@@ -1,0 +1,13 @@
+(** Activation functions of Definition 2: ReLU units in hidden layers and
+    identity in the output layer. *)
+
+type t = Relu | Linear
+
+val apply : t -> float -> float
+val derivative : t -> float -> float
+(** Sub-gradient at the input (0 at the ReLU kink). *)
+
+val apply_vec : t -> float array -> float array
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Invalid_argument] on unknown names. *)

@@ -1,0 +1,73 @@
+module Vec = Nncs_linalg.Vec
+module Rng = Nncs_linalg.Rng
+
+type t = { pairs : (float array * float array) array }
+
+let create pairs =
+  if Array.length pairs = 0 then invalid_arg "Dataset.create: empty";
+  let xd = Array.length (fst pairs.(0)) and yd = Array.length (snd pairs.(0)) in
+  Array.iter
+    (fun (x, y) ->
+      if Array.length x <> xd || Array.length y <> yd then
+        invalid_arg "Dataset.create: inconsistent dimensions")
+    pairs;
+  { pairs }
+
+let size d = Array.length d.pairs
+let input_dim d = Array.length (fst d.pairs.(0))
+let target_dim d = Array.length (snd d.pairs.(0))
+let get d i = d.pairs.(i)
+
+let of_function ~rng ~n ~lo ~hi f =
+  if Array.length lo <> Array.length hi then
+    invalid_arg "Dataset.of_function: bound dimension mismatch";
+  let sample () =
+    Array.init (Array.length lo) (fun i -> Rng.uniform rng lo.(i) hi.(i))
+  in
+  create
+    (Array.init n (fun _ ->
+         let x = sample () in
+         (x, f x)))
+
+let shuffle ~rng d =
+  let pairs = Array.copy d.pairs in
+  Rng.shuffle rng pairs;
+  { pairs }
+
+let split ~rng ~fraction d =
+  if fraction <= 0.0 || fraction >= 1.0 then
+    invalid_arg "Dataset.split: fraction must be in (0, 1)";
+  let s = shuffle ~rng d in
+  let k = max 1 (int_of_float (fraction *. float_of_int (size s))) in
+  let k = min k (size s - 1) in
+  ( { pairs = Array.sub s.pairs 0 k },
+    { pairs = Array.sub s.pairs k (size s - k) } )
+
+let batches d ~batch_size =
+  if batch_size <= 0 then invalid_arg "Dataset.batches: non-positive size";
+  let n = size d in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let len = min batch_size (n - i) in
+      go (i + len) (Array.sub d.pairs i len :: acc)
+  in
+  go 0 []
+
+let mse net d =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let p = Network.eval net x in
+      let e = Vec.sub p y in
+      acc := !acc +. Vec.dot e e)
+    d.pairs;
+  !acc /. float_of_int (size d * target_dim d)
+
+let classification_accuracy net d =
+  let hits = ref 0 in
+  Array.iter
+    (fun (x, y) ->
+      if Vec.argmin (Network.eval net x) = Vec.argmin y then incr hits)
+    d.pairs;
+  float_of_int !hits /. float_of_int (size d)

@@ -1,0 +1,34 @@
+(** Supervised-learning datasets: pairs of input and target vectors. *)
+
+type t
+
+val create : (float array * float array) array -> t
+(** Validates that all pairs share dimensions. The array is not copied. *)
+
+val size : t -> int
+val input_dim : t -> int
+val target_dim : t -> int
+val get : t -> int -> float array * float array
+
+val of_function :
+  rng:Nncs_linalg.Rng.t ->
+  n:int ->
+  lo:float array ->
+  hi:float array ->
+  (float array -> float array) ->
+  t
+(** [n] samples drawn uniformly from the box [lo, hi], labelled by the
+    function — the behavioural-cloning sampler. *)
+
+val split : rng:Nncs_linalg.Rng.t -> fraction:float -> t -> t * t
+(** Shuffled (train, validation) split; [fraction] goes to train. *)
+
+val shuffle : rng:Nncs_linalg.Rng.t -> t -> t
+val batches : t -> batch_size:int -> (float array * float array) array list
+val mse : Network.t -> t -> float
+(** Mean squared error of the network over the dataset. *)
+
+val classification_accuracy : Network.t -> t -> float
+(** Fraction of samples where the network's argmin output index matches
+    the target's argmin — the metric that matters for advisory
+    selection. *)

@@ -1,0 +1,135 @@
+module Mat = Nncs_linalg.Mat
+module Vec = Nncs_linalg.Vec
+module Rng = Nncs_linalg.Rng
+
+type layer = { weights : Mat.t; biases : Vec.t; activation : Activation.t }
+type t = { input_dim : int; layers : layer array }
+
+let make ~input_dim layers =
+  if Array.length layers = 0 then invalid_arg "Network.make: no layers";
+  let expected = ref input_dim in
+  Array.iteri
+    (fun idx l ->
+      if Mat.cols l.weights <> !expected then
+        invalid_arg
+          (Printf.sprintf
+             "Network.make: layer %d expects input size %d, weights have %d \
+              columns"
+             idx !expected (Mat.cols l.weights));
+      if Mat.rows l.weights <> Vec.dim l.biases then
+        invalid_arg
+          (Printf.sprintf "Network.make: layer %d weight/bias size mismatch" idx);
+      expected := Mat.rows l.weights)
+    layers;
+  { input_dim; layers }
+
+let create_mlp ~rng ~layer_sizes =
+  match layer_sizes with
+  | [] | [ _ ] -> invalid_arg "Network.create_mlp: need at least input and output sizes"
+  | input_dim :: rest ->
+      let n = List.length rest in
+      let layers =
+        List.mapi
+          (fun idx out_size ->
+            let in_size =
+              if idx = 0 then input_dim else List.nth rest (idx - 1)
+            in
+            (* He initialisation, suited to ReLU *)
+            let std = sqrt (2.0 /. float_of_int in_size) in
+            {
+              weights =
+                Mat.init out_size in_size (fun _ _ -> std *. Rng.gaussian rng);
+              biases = Vec.create out_size 0.0;
+              activation =
+                (if idx = n - 1 then Activation.Linear else Activation.Relu);
+            })
+          rest
+      in
+      make ~input_dim (Array.of_list layers)
+
+let input_dim net = net.input_dim
+
+let output_dim net =
+  Mat.rows net.layers.(Array.length net.layers - 1).weights
+
+let num_layers net = Array.length net.layers
+
+let layer_sizes net =
+  net.input_dim :: Array.to_list (Array.map (fun l -> Mat.rows l.weights) net.layers)
+
+let num_parameters net =
+  Array.fold_left
+    (fun acc l -> acc + (Mat.rows l.weights * Mat.cols l.weights) + Vec.dim l.biases)
+    0 net.layers
+
+let eval net x =
+  if Array.length x <> net.input_dim then
+    invalid_arg "Network.eval: input dimension mismatch";
+  Array.fold_left
+    (fun v l ->
+      Activation.apply_vec l.activation (Vec.add (Mat.mul_vec l.weights v) l.biases))
+    x net.layers
+
+let eval_with_preactivations net x =
+  let n = Array.length net.layers in
+  let pre = Array.make n [||] and post = Array.make n [||] in
+  let v = ref x in
+  for i = 0 to n - 1 do
+    let l = net.layers.(i) in
+    let z = Vec.add (Mat.mul_vec l.weights !v) l.biases in
+    pre.(i) <- z;
+    post.(i) <- Activation.apply_vec l.activation z;
+    v := post.(i)
+  done;
+  (pre, post)
+
+let map_parameters net ~f =
+  {
+    net with
+    layers =
+      Array.map
+        (fun l -> { l with weights = Mat.map f l.weights; biases = Vec.map f l.biases })
+        net.layers;
+  }
+
+let copy net = map_parameters net ~f:(fun x -> x)
+
+let equal_structure a b =
+  a.input_dim = b.input_dim
+  && Array.length a.layers = Array.length b.layers
+  && Array.for_all2
+       (fun la lb ->
+         Mat.rows la.weights = Mat.rows lb.weights
+         && Mat.cols la.weights = Mat.cols lb.weights
+         && la.activation = lb.activation)
+       a.layers b.layers
+
+let pp_summary fmt net =
+  Format.fprintf fmt "@[<h>MLP %a (%d parameters)@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f "-")
+       Format.pp_print_int)
+    (layer_sizes net) (num_parameters net)
+
+let block_product a b =
+  if Array.length a.layers <> Array.length b.layers then
+    invalid_arg "Network.block_product: depth mismatch";
+  let layers =
+    Array.map2
+      (fun la lb ->
+        if la.activation <> lb.activation then
+          invalid_arg "Network.block_product: activation mismatch";
+        let ra = Mat.rows la.weights and ca = Mat.cols la.weights in
+        let rb = Mat.rows lb.weights and cb = Mat.cols lb.weights in
+        {
+          weights =
+            Mat.init (ra + rb) (ca + cb) (fun i j ->
+                if i < ra && j < ca then Mat.get la.weights i j
+                else if i >= ra && j >= ca then Mat.get lb.weights (i - ra) (j - ca)
+                else 0.0);
+          biases = Array.append la.biases lb.biases;
+          activation = la.activation;
+        })
+      a.layers b.layers
+  in
+  make ~input_dim:(a.input_dim + b.input_dim) layers

@@ -1,0 +1,52 @@
+(** ReLU feedforward networks (Definition 2 of the paper).
+
+    A network is a sequence of affine layers, each followed by an
+    activation; hidden layers use ReLU, the output layer is affine
+    (identity activation). *)
+
+type layer = {
+  weights : Nncs_linalg.Mat.t;  (** shape: (output size) x (input size) *)
+  biases : Nncs_linalg.Vec.t;
+  activation : Activation.t;
+}
+
+type t = private { input_dim : int; layers : layer array }
+
+val make : input_dim:int -> layer array -> t
+(** Validates the chaining of layer dimensions. Raises
+    [Invalid_argument] on mismatch or on an empty layer array. *)
+
+val create_mlp :
+  rng:Nncs_linalg.Rng.t -> layer_sizes:int list -> t
+(** [create_mlp ~rng ~layer_sizes:[m; h1; ...; p]] builds a ReLU MLP with
+    He-initialised weights: input size [m], hidden sizes [h1...], affine
+    output of size [p]. *)
+
+val input_dim : t -> int
+val output_dim : t -> int
+val num_layers : t -> int
+(** Number of non-input layers (hidden + output). *)
+
+val layer_sizes : t -> int list
+(** [m; k2; ...; kL] as in Definition 2. *)
+
+val num_parameters : t -> int
+
+val eval : t -> float array -> float array
+(** Forward pass (the function F of Definition 2). *)
+
+val eval_with_preactivations : t -> float array -> float array array * float array array
+(** [(pre, post)] per layer — used by backpropagation. *)
+
+val map_parameters : t -> f:(float -> float) -> t
+val copy : t -> t
+val equal_structure : t -> t -> bool
+val pp_summary : Format.formatter -> t -> unit
+
+val block_product : t -> t -> t
+(** [block_product a b] is the network computing
+    [x1 ++ x2 -> a(x1) ++ b(x2)] by block-diagonal weight matrices —
+    the construction that lets one network execution host several
+    independent controllers (multi-agent closed loops).  Both networks
+    must have the same depth and per-layer activations; raises
+    [Invalid_argument] otherwise. *)

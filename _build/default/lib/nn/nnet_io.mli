@@ -1,0 +1,22 @@
+(** Text serialisation of networks, in the spirit of the Stanford .nnet
+    format used to distribute the ACAS Xu networks:
+
+    {v
+    // optional comment lines
+    nncs-nnet 1
+    <num_layers> <input_dim>
+    <size activation> per layer
+    then per layer: one row of weights per neuron, then the bias row
+    v}
+
+    All numbers are written with full hex-float precision so that a
+    save/load round trip is bit-exact. *)
+
+val save : Network.t -> string -> unit
+(** [save net path]. *)
+
+val load : string -> Network.t
+(** Raises [Failure] with a descriptive message on malformed input. *)
+
+val to_channel : out_channel -> Network.t -> unit
+val of_channel : in_channel -> Network.t

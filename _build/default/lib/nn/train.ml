@@ -1,0 +1,150 @@
+module Mat = Nncs_linalg.Mat
+module Vec = Nncs_linalg.Vec
+module Rng = Nncs_linalg.Rng
+
+type optimizer = Sgd of { momentum : float } | Adam of { beta1 : float; beta2 : float }
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  learning_rate : float;
+  optimizer : optimizer;
+  weight_decay : float;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    epochs = 50;
+    batch_size = 64;
+    learning_rate = 1e-3;
+    optimizer = Adam { beta1 = 0.9; beta2 = 0.999 };
+    weight_decay = 0.0;
+    verbose = false;
+  }
+
+type report = { final_train_mse : float; final_val_mse : float; epochs_run : int }
+
+let loss_and_gradients net batch =
+  let layers = net.Network.layers in
+  let n = Array.length layers in
+  let grads =
+    Array.map
+      (fun l ->
+        ( Mat.create (Mat.rows l.Network.weights) (Mat.cols l.Network.weights) 0.0,
+          Vec.create (Vec.dim l.Network.biases) 0.0 ))
+      layers
+  in
+  let bsz = Array.length batch in
+  let out_dim = Array.length (snd batch.(0)) in
+  let scale = 1.0 /. float_of_int (bsz * out_dim) in
+  let loss = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let pre, post = Network.eval_with_preactivations net x in
+      let out = post.(n - 1) in
+      let err = Vec.sub out y in
+      loss := !loss +. (scale *. Vec.dot err err);
+      (* delta at the output layer *)
+      let delta = ref (Vec.scale (2.0 *. scale) err) in
+      for l = n - 1 downto 0 do
+        let act = layers.(l).Network.activation in
+        let d =
+          Array.mapi
+            (fun i v -> v *. Activation.derivative act pre.(l).(i))
+            !delta
+        in
+        let input = if l = 0 then x else post.(l - 1) in
+        let gw, gb = grads.(l) in
+        Mat.add_inplace gw (Mat.outer d input);
+        Vec.axpy 1.0 d gb;
+        if l > 0 then delta := Mat.tmul_vec layers.(l).Network.weights d
+      done)
+    batch;
+  (!loss, grads)
+
+type slot_state = { m : Mat.t; v : Mat.t; bm : Vec.t; bv : Vec.t }
+
+let fit ?(config = default_config) ~rng ~net ~train ?validation () =
+  let net = Network.copy net in
+  let layers = net.Network.layers in
+  let opt_state =
+    Array.map
+      (fun l ->
+        let r = Mat.rows l.Network.weights and c = Mat.cols l.Network.weights in
+        {
+          m = Mat.create r c 0.0;
+          v = Mat.create r c 0.0;
+          bm = Vec.create (Vec.dim l.Network.biases) 0.0;
+          bv = Vec.create (Vec.dim l.Network.biases) 0.0;
+        })
+      layers
+  in
+  let step_count = ref 0 in
+  let apply_gradients grads =
+    incr step_count;
+    let lr = config.learning_rate in
+    Array.iteri
+      (fun li (gw, gb) ->
+        let l = layers.(li) and st = opt_state.(li) in
+        (* weight decay folded into the gradient *)
+        if config.weight_decay > 0.0 then begin
+          Mat.axpy_inplace config.weight_decay l.Network.weights gw;
+          ignore gb
+        end;
+        match config.optimizer with
+        | Sgd { momentum } ->
+            (* m <- momentum * m + g ; w <- w - lr * m *)
+            Mat.map_inplace (fun x -> momentum *. x) st.m;
+            Mat.add_inplace st.m gw;
+            Mat.axpy_inplace (-.lr) st.m l.Network.weights;
+            for i = 0 to Vec.dim st.bm - 1 do
+              st.bm.(i) <- (momentum *. st.bm.(i)) +. gb.(i);
+              l.Network.biases.(i) <- l.Network.biases.(i) -. (lr *. st.bm.(i))
+            done
+        | Adam { beta1 ; beta2 } ->
+            let t = float_of_int !step_count in
+            let c1 = 1.0 -. (beta1 ** t) and c2 = 1.0 -. (beta2 ** t) in
+            let eps = 1e-8 in
+            let rows = Mat.rows gw and cols = Mat.cols gw in
+            for i = 0 to rows - 1 do
+              for j = 0 to cols - 1 do
+                let g = Mat.get gw i j in
+                let m' = (beta1 *. Mat.get st.m i j) +. ((1.0 -. beta1) *. g) in
+                let v' = (beta2 *. Mat.get st.v i j) +. ((1.0 -. beta2) *. g *. g) in
+                Mat.set st.m i j m';
+                Mat.set st.v i j v';
+                let mhat = m' /. c1 and vhat = v' /. c2 in
+                Mat.set l.Network.weights i j
+                  (Mat.get l.Network.weights i j -. (lr *. mhat /. (sqrt vhat +. eps)))
+              done
+            done;
+            for i = 0 to Vec.dim gb - 1 do
+              let g = gb.(i) in
+              let m' = (beta1 *. st.bm.(i)) +. ((1.0 -. beta1) *. g) in
+              let v' = (beta2 *. st.bv.(i)) +. ((1.0 -. beta2) *. g *. g) in
+              st.bm.(i) <- m';
+              st.bv.(i) <- v';
+              let mhat = m' /. c1 and vhat = v' /. c2 in
+              l.Network.biases.(i) <-
+                l.Network.biases.(i) -. (lr *. mhat /. (sqrt vhat +. eps))
+            done)
+      grads
+  in
+  for epoch = 1 to config.epochs do
+    let shuffled = Dataset.shuffle ~rng train in
+    List.iter
+      (fun batch ->
+        let _, grads = loss_and_gradients net batch in
+        apply_gradients grads)
+      (Dataset.batches shuffled ~batch_size:config.batch_size);
+    if config.verbose && (epoch mod 10 = 0 || epoch = config.epochs) then
+      Format.eprintf "epoch %3d  train mse %.6f%s@." epoch (Dataset.mse net train)
+        (match validation with
+        | Some v -> Printf.sprintf "  val mse %.6f" (Dataset.mse net v)
+        | None -> "")
+  done;
+  let final_val_mse =
+    match validation with Some v -> Dataset.mse net v | None -> Float.nan
+  in
+  (net, { final_train_mse = Dataset.mse net train; final_val_mse; epochs_run = config.epochs })

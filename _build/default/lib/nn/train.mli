@@ -1,0 +1,39 @@
+(** Mini-batch training of ReLU networks with backpropagation.
+
+    Used to produce, from the lookup-table policy, the networks that the
+    paper's controller model assumes ("trained with supervised
+    learning"). Adam is the default optimiser; plain SGD with momentum is
+    also provided for comparison. *)
+
+type optimizer = Sgd of { momentum : float } | Adam of { beta1 : float; beta2 : float }
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  learning_rate : float;
+  optimizer : optimizer;
+  weight_decay : float;
+  verbose : bool;
+}
+
+val default_config : config
+(** 50 epochs, batch 64, lr 1e-3, Adam(0.9, 0.999), no decay, quiet. *)
+
+type report = { final_train_mse : float; final_val_mse : float; epochs_run : int }
+
+val loss_and_gradients :
+  Network.t ->
+  (float array * float array) array ->
+  float * (Nncs_linalg.Mat.t * Nncs_linalg.Vec.t) array
+(** MSE loss over the batch and its gradient per layer (backprop).
+    Exposed for testing against finite differences. *)
+
+val fit :
+  ?config:config ->
+  rng:Nncs_linalg.Rng.t ->
+  net:Network.t ->
+  train:Dataset.t ->
+  ?validation:Dataset.t ->
+  unit ->
+  Network.t * report
+(** Trains a copy of [net]; the input network is not mutated. *)

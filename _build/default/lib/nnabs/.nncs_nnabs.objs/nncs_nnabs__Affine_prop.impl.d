@@ -1,0 +1,1 @@
+lib/nnabs/affine_prop.ml: Array Float Nncs_affine Nncs_interval Nncs_linalg Nncs_nn

@@ -1,0 +1,1 @@
+lib/nnabs/affine_prop.mli: Nncs_interval Nncs_nn

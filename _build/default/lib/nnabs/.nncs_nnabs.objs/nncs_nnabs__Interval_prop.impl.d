@@ -1,0 +1,1 @@
+lib/nnabs/interval_prop.ml: Array Nncs_interval Nncs_linalg Nncs_nn

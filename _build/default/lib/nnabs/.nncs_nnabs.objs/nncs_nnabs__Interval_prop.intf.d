@@ -1,0 +1,1 @@
+lib/nnabs/interval_prop.mli: Nncs_interval Nncs_nn

@@ -1,0 +1,1 @@
+lib/nnabs/robustness.ml: Array List Nncs_interval Nncs_nn Transformer

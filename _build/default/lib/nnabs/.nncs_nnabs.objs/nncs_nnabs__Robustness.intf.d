@@ -1,0 +1,1 @@
+lib/nnabs/robustness.mli: Nncs_nn Transformer

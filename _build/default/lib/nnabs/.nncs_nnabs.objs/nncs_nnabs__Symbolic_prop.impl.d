@@ -1,0 +1,1 @@
+lib/nnabs/symbolic_prop.ml: Array Float List Nncs_interval Nncs_linalg Nncs_nn

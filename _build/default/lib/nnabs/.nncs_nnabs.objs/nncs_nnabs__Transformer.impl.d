@@ -1,0 +1,1 @@
+lib/nnabs/transformer.ml: Affine_prop Interval_prop List Nncs_interval Printf Symbolic_prop

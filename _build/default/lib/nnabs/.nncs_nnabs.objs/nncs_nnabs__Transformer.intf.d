@@ -1,0 +1,1 @@
+lib/nnabs/transformer.mli: Nncs_interval Nncs_nn

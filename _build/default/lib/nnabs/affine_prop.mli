@@ -1,0 +1,6 @@
+(** Affine-arithmetic propagation through a ReLU network: a third
+    abstract transformer, tighter than plain intervals on deep affine
+    chains, used in the domain-comparison ablation (DESIGN.md E6). *)
+
+val propagate : Nncs_nn.Network.t -> Nncs_interval.Box.t -> Nncs_interval.Box.t
+(** Sound enclosure of [{F(x) | x in box}]. *)

@@ -1,0 +1,26 @@
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module Mat = Nncs_linalg.Mat
+module Net = Nncs_nn.Network
+
+let relu iv = I.max_ iv I.zero
+
+let layer_out l v =
+  let w = l.Net.weights and b = l.Net.biases in
+  let out =
+    Array.init (Mat.rows w) (fun i ->
+        let acc = ref (I.of_float b.(i)) in
+        for j = 0 to Mat.cols w - 1 do
+          acc := I.add !acc (I.mul_float (Mat.get w i j) v.(j))
+        done;
+        !acc)
+  in
+  match l.Net.activation with
+  | Nncs_nn.Activation.Linear -> out
+  | Nncs_nn.Activation.Relu -> Array.map relu out
+
+let propagate net box =
+  if B.dim box <> Net.input_dim net then
+    invalid_arg "Interval_prop.propagate: input dimension mismatch";
+  let v = Array.fold_left (fun v l -> layer_out l v) (B.to_array box) net.Net.layers in
+  B.of_intervals v

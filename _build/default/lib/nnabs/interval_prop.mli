@@ -1,0 +1,6 @@
+(** Plain interval propagation through a ReLU network: the baseline
+    abstract transformer F#. Sound but subject to the dependency problem
+    (every neuron is abstracted independently). *)
+
+val propagate : Nncs_nn.Network.t -> Nncs_interval.Box.t -> Nncs_interval.Box.t
+(** [propagate net box] encloses [{F(x) | x in box}]. *)

@@ -1,0 +1,34 @@
+(** Local (adversarial) robustness of a classifier-style network — the
+    neural-network-level property of the paper's Section 2: around a
+    given input, does the decision (argmin or argmax of the outputs)
+    survive every perturbation of radius epsilon?
+
+    Decided by the same sound transformers used for the closed loop,
+    with optional input splitting: [Robust] is a proof; [Unknown] means
+    the abstraction was too coarse at this budget (never "not robust"
+    unless a concrete counterexample is produced). *)
+
+type decision = Argmin | Argmax
+
+type verdict =
+  | Robust  (** proved: the decision is constant on the ball *)
+  | Counterexample of float array
+      (** a concrete input in the ball with a different decision *)
+  | Unknown
+
+val classify : decision -> float array -> int
+(** The concrete decision rule. *)
+
+val check :
+  ?domain:Transformer.domain ->
+  ?max_splits:int ->
+  decision:decision ->
+  Nncs_nn.Network.t ->
+  input:float array ->
+  epsilon:float ->
+  verdict
+(** [check ~decision net ~input ~epsilon] analyses the infinity-ball of
+    radius [epsilon] around [input].  Refines by bisecting the widest
+    input dimension up to [max_splits] times (default 6); ball corners
+    are tested for concrete counterexamples along the way.  [domain]
+    defaults to [Symbolic]. *)

@@ -1,0 +1,198 @@
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module R = Nncs_interval.Rounding
+module Mat = Nncs_linalg.Mat
+module Net = Nncs_nn.Network
+
+(* An affine function of the network inputs, [coeffs . x + const], valid
+   over the current input box up to [err >= 0]: the neuron value it
+   bounds may deviate from the float-coefficient function by at most
+   [err] (accumulated rounding of coefficient arithmetic). *)
+type eq = { coeffs : float array; const : float; err : float }
+
+(* A neuron abstraction: value(x) in [lo(x) - lo.err, up(x) + up.err]
+   for every x in the input box. *)
+type bounds = { lo : eq; up : eq }
+
+let ulp_unit = 0x1.0p-53
+
+(* Upper bound on the sum of rounding errors of an inner-product style
+   accumulation: n operations whose partial results are bounded by
+   [absacc] (the sum of absolute values of the terms). *)
+let accumulation_error n absacc =
+  2.0 *. float_of_int (n + 2) *. ulp_unit *. absacc
+
+(* max |x_k| over the input box, floored at 1 so constant-term rounding
+   is also covered when folded with the same factor *)
+let input_magnitude box =
+  let m = ref 1.0 in
+  for k = 0 to B.dim box - 1 do
+    m := Float.max !m (I.mag (B.get box k))
+  done;
+  !m
+
+(* [combine terms bias] = sum_i w_i * eq_i + bias, with rounding folded
+   into the error term. *)
+let combine ~xmag terms bias =
+  match terms with
+  | [] -> invalid_arg "Symbolic_prop.combine: no terms"
+  | (_, eq0) :: _ ->
+      let m = Array.length eq0.coeffs in
+      let coeffs = Array.make m 0.0 in
+      let const = ref bias in
+      let absacc = ref (Float.abs bias) in
+      let err = ref 0.0 in
+      let nterms = List.length terms in
+      List.iter
+        (fun (w, eq) ->
+          if w <> 0.0 then begin
+            for k = 0 to m - 1 do
+              let p = w *. eq.coeffs.(k) in
+              coeffs.(k) <- coeffs.(k) +. p;
+              absacc := !absacc +. Float.abs p
+            done;
+            let pc = w *. eq.const in
+            const := !const +. pc;
+            absacc := !absacc +. Float.abs pc;
+            err := R.add_up !err (R.mul_up (Float.abs w) eq.err)
+          end)
+        terms;
+      let nops = (nterms * (m + 1)) + 1 in
+      let rounding = accumulation_error nops (!absacc *. xmag) in
+      { coeffs; const = !const; err = R.add_up !err rounding }
+
+(* Concrete bounds of an equation over the input box, outward rounded. *)
+let eval_upper box eq =
+  let acc = ref (R.add_up eq.const eq.err) in
+  for k = 0 to Array.length eq.coeffs - 1 do
+    let c = eq.coeffs.(k) in
+    if c > 0.0 then acc := R.add_up !acc (R.mul_up c (I.hi (B.get box k)))
+    else if c < 0.0 then acc := R.add_up !acc (R.mul_up c (I.lo (B.get box k)))
+  done;
+  !acc
+
+let eval_lower box eq =
+  let acc = ref (R.sub_down eq.const eq.err) in
+  for k = 0 to Array.length eq.coeffs - 1 do
+    let c = eq.coeffs.(k) in
+    if c > 0.0 then acc := R.add_down !acc (R.mul_down c (I.lo (B.get box k)))
+    else if c < 0.0 then acc := R.add_down !acc (R.mul_down c (I.hi (B.get box k)))
+  done;
+  !acc
+
+let zero_eq m = { coeffs = Array.make m 0.0; const = 0.0; err = 0.0 }
+
+let input_bounds box =
+  let m = B.dim box in
+  Array.init m (fun k ->
+      let coeffs = Array.make m 0.0 in
+      coeffs.(k) <- 1.0;
+      let eq = { coeffs; const = 0.0; err = 0.0 } in
+      { lo = eq; up = eq })
+
+(* The chord slope u / (u - l) for an unstable node, as an interval to
+   bound the float division error. *)
+let chord_slope l u =
+  I.div (I.of_float u) (I.sub (I.of_float u) (I.of_float l))
+
+(* ReLU relaxation of one neuron (ReluVal/Neurify rules). *)
+let relu_relax ~xmag box nb =
+  let m = Array.length nb.lo.coeffs in
+  let l_lo = eval_lower box nb.lo and u_up = eval_upper box nb.up in
+  if l_lo >= 0.0 then nb (* stable active *)
+  else if u_up <= 0.0 then
+    let z = zero_eq m in
+    { lo = z; up = z } (* stable inactive *)
+  else begin
+    (* upper: relu(v) <= lam * (v - l) for v in [l, u], lam = u/(u-l),
+       applied to the upper equation with its own concrete lower bound *)
+    let up' =
+      let l_up = eval_lower box nb.up in
+      if l_up >= 0.0 then nb.up
+      else
+        let lam_iv = chord_slope l_up u_up in
+        let lam = I.mid lam_iv in
+        (* bias -lam*l_up, slope error |lam' - lam| * (u - l) folded in *)
+        let e = combine ~xmag [ (lam, nb.up) ] (-.lam *. l_up) in
+        let slope_slack =
+          R.mul_up (I.width lam_iv) (R.sub_up u_up l_up)
+        in
+        let bias_slack =
+          (* -lam*l_up computed in float: one mul rounding *)
+          R.mul_up 4.0 (R.mul_up ulp_unit (Float.abs (lam *. l_up)))
+        in
+        { e with err = R.add_up e.err (R.add_up slope_slack bias_slack) }
+    in
+    (* lower: relu(v) >= lam * v for v in [l, u], lam = u/(u-l) in [0,1],
+       applied to the lower equation with its own concrete bounds *)
+    let lo' =
+      let u_lo = eval_upper box nb.lo in
+      if u_lo <= 0.0 then zero_eq m
+      else
+        let l = l_lo and u = u_lo in
+        let lam_iv = chord_slope l u in
+        let lam = I.mid lam_iv in
+        let e = combine ~xmag [ (lam, nb.lo) ] 0.0 in
+        let slope_slack =
+          R.mul_up (I.width lam_iv) (Float.max (Float.abs l) (Float.abs u))
+        in
+        { e with err = R.add_up e.err slope_slack }
+    in
+    { lo = lo'; up = up' }
+  end
+
+let layer_bounds ~xmag box l nbs =
+  let w = l.Net.weights and b = l.Net.biases in
+  let out =
+    Array.init (Mat.rows w) (fun i ->
+        let terms_up = ref [] and terms_lo = ref [] in
+        for j = Mat.cols w - 1 downto 0 do
+          let wij = Mat.get w i j in
+          if wij > 0.0 then begin
+            terms_up := (wij, nbs.(j).up) :: !terms_up;
+            terms_lo := (wij, nbs.(j).lo) :: !terms_lo
+          end
+          else if wij < 0.0 then begin
+            terms_up := (wij, nbs.(j).lo) :: !terms_up;
+            terms_lo := (wij, nbs.(j).up) :: !terms_lo
+          end
+        done;
+        let m = Array.length nbs.(0).lo.coeffs in
+        let up =
+          if !terms_up = [] then { (zero_eq m) with const = b.(i) }
+          else combine ~xmag !terms_up b.(i)
+        in
+        let lo =
+          if !terms_lo = [] then { (zero_eq m) with const = b.(i) }
+          else combine ~xmag !terms_lo b.(i)
+        in
+        { lo; up })
+  in
+  match l.Net.activation with
+  | Nncs_nn.Activation.Linear -> out
+  | Nncs_nn.Activation.Relu -> Array.map (relu_relax ~xmag box) out
+
+let final_bounds net box =
+  if B.dim box <> Net.input_dim net then
+    invalid_arg "Symbolic_prop.propagate: input dimension mismatch";
+  let xmag = input_magnitude box in
+  Array.fold_left
+    (fun nbs l -> layer_bounds ~xmag box l nbs)
+    (input_bounds box) net.Net.layers
+
+let propagate net box =
+  let nbs = final_bounds net box in
+  B.of_intervals
+    (Array.map
+       (fun nb ->
+         let lo = eval_lower box nb.lo and hi = eval_upper box nb.up in
+         (* rounding slack can produce lo marginally above hi on
+            degenerate boxes; restore order conservatively *)
+         if lo <= hi then I.make lo hi else I.make hi lo)
+       nbs)
+
+let output_bounds net box =
+  let nbs = final_bounds net box in
+  Array.map
+    (fun nb -> (Array.copy nb.lo.coeffs, nb.lo.const, Array.copy nb.up.coeffs, nb.up.const))
+    nbs

@@ -1,0 +1,22 @@
+(** Symbolic interval propagation through a ReLU network, in the style of
+    ReluVal / Neurify (the tool the paper uses for F#).
+
+    Every neuron carries a pair of affine functions of the *network
+    inputs* that bound it from below and above over the given input box.
+    Affine layers transform these bounds exactly (up to rounding, which
+    is accounted for in a per-equation error term); unstable ReLU nodes
+    are relaxed with the standard chord (upper) and scaled-identity
+    (lower) linear relaxations.  The result is usually far tighter than
+    plain interval propagation because input dependencies survive the
+    affine layers. *)
+
+val propagate : Nncs_nn.Network.t -> Nncs_interval.Box.t -> Nncs_interval.Box.t
+(** Sound enclosure of [{F(x) | x in box}]. *)
+
+val output_bounds :
+  Nncs_nn.Network.t ->
+  Nncs_interval.Box.t ->
+  (float array * float * float array * float) array
+(** For each output neuron, the final symbolic bounds
+    [(lo_coeffs, lo_const, up_coeffs, up_const)] — exposed for
+    inspection and tests. *)

@@ -1,0 +1,1 @@
+lib/ode/apriori.ml: Array Nncs_interval Ode Printf

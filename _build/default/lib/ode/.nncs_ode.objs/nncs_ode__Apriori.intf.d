@@ -1,0 +1,1 @@
+lib/ode/apriori.mli: Nncs_interval Ode

@@ -1,0 +1,1 @@
+lib/ode/expr.ml: Array Float Format Nncs_interval Stdlib

@@ -1,0 +1,1 @@
+lib/ode/expr.mli: Format Nncs_interval

@@ -1,0 +1,1 @@
+lib/ode/lohner.ml: Apriori Array Expr Float Nncs_interval Nncs_linalg Ode Printf Series

@@ -1,0 +1,1 @@
+lib/ode/lohner.mli: Nncs_interval Nncs_linalg Ode

@@ -1,0 +1,1 @@
+lib/ode/ode.ml: Array Expr List Nncs_interval

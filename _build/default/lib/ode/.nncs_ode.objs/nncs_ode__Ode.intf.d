@@ -1,0 +1,1 @@
+lib/ode/ode.mli: Expr Nncs_interval

@@ -1,0 +1,1 @@
+lib/ode/onestep.ml: Apriori Array Nncs_interval Ode Series

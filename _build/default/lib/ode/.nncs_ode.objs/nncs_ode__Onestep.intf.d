@@ -1,0 +1,1 @@
+lib/ode/onestep.mli: Nncs_interval Ode

@@ -1,0 +1,1 @@
+lib/ode/series.ml: Array Expr Nncs_interval Printf

@@ -1,0 +1,1 @@
+lib/ode/series.mli: Expr Nncs_interval

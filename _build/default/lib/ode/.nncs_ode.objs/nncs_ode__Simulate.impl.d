@@ -1,0 +1,1 @@
+lib/ode/simulate.ml: Array Lohner Nncs_interval Onestep

@@ -1,0 +1,1 @@
+lib/ode/simulate.mli: Nncs_interval Ode

@@ -1,0 +1,43 @@
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+
+exception Enclosure_failure of string
+
+let max_tries = 30
+
+let enclosure sys ~t1 ~h ~state ~inputs =
+  if h <= 0.0 then invalid_arg "Apriori.enclosure: non-positive step";
+  let tiv = I.make t1 (t1 +. h) in
+  let hiv = I.make 0.0 h in
+  let picard b =
+    let fb = Ode.eval_rhs_interval sys ~time:tiv ~state:b ~inputs in
+    B.of_intervals
+      (Array.init sys.Ode.dim (fun i ->
+           I.add (B.get state i) (I.mul hiv (B.get fb i))))
+  in
+  (* Initial candidate: one Picard image of the initial box, inflated. *)
+  let swell = 0.1 and abs_eps = ref 1e-9 in
+  let rec iterate b tries =
+    if tries > max_tries then
+      raise
+        (Enclosure_failure
+           (Printf.sprintf
+              "no contracting enclosure after %d Picard iterations (t1=%g h=%g)"
+              max_tries t1 h))
+    else
+      let nb = picard b in
+      if B.subset nb b then nb
+      else begin
+        (* grow: hull with the image, plus relative + absolute inflation *)
+        let grown =
+          B.mapi
+            (fun _ iv ->
+              let w = I.width iv in
+              I.inflate iv ((swell *. w) +. !abs_eps))
+            (B.hull b nb)
+        in
+        abs_eps := !abs_eps *. 2.0;
+        iterate grown (tries + 1)
+      end
+  in
+  iterate (picard state) 0

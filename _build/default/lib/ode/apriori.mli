@@ -1,0 +1,17 @@
+(** A-priori (rough) enclosure of an ODE flow over a step, via the
+    interval Picard operator and the Banach fixed-point argument: if
+    [Z0 + [0,h] * f([t1,t1+h], B, u)] is included in [B] then every
+    solution starting in [Z0] stays in [B] over the whole step. *)
+
+exception Enclosure_failure of string
+(** Raised when no contracting candidate is found (step too large for the
+    dynamics); the caller should reduce the step size. *)
+
+val enclosure :
+  Ode.system ->
+  t1:float ->
+  h:float ->
+  state:Nncs_interval.Box.t ->
+  inputs:Nncs_interval.Box.t ->
+  Nncs_interval.Box.t
+(** Box containing all solution values over [t1, t1+h] from [state]. *)

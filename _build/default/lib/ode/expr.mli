@@ -1,0 +1,70 @@
+(** Symbolic expressions for ODE right-hand sides.
+
+    A plant's dynamics [s'(t) = f(t, s(t), u(t))] is written as one
+    expression per state dimension, over the time variable, the state
+    variables and the (piecewise-constant) command inputs.  The same
+    expression supports float evaluation (concrete simulation), interval
+    evaluation (Picard enclosures) and Taylor-coefficient computation
+    (validated integration). *)
+
+type t =
+  | Const of float
+  | Time
+  | State of int  (** [State i] is the i-th state variable. *)
+  | Input of int  (** [Input i] is the i-th command component. *)
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Sin of t
+  | Cos of t
+  | Exp of t
+  | Sqrt of t
+  | Sqr of t
+  | Atan of t
+  | Pow of t * int
+
+(** {1 Smart constructors} (perform constant folding) *)
+
+val const : float -> t
+val time : t
+val state : int -> t
+val input : int -> t
+val neg : t -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val sin : t -> t
+val cos : t -> t
+val exp : t -> t
+val sqrt : t -> t
+val sqr : t -> t
+val atan : t -> t
+val pow : t -> int -> t
+val scale : float -> t -> t
+
+(** {1 Evaluation} *)
+
+val eval : t -> time:float -> state:float array -> inputs:float array -> float
+
+val eval_interval :
+  t ->
+  time:Nncs_interval.Interval.t ->
+  state:Nncs_interval.Box.t ->
+  inputs:Nncs_interval.Box.t ->
+  Nncs_interval.Interval.t
+(** Sound interval extension. *)
+
+val max_state_index : t -> int
+(** Largest state index used, -1 if none. *)
+
+val max_input_index : t -> int
+val pp : Format.formatter -> t -> unit
+
+val diff : t -> int -> t
+(** [diff e i] is the symbolic partial derivative of [e] with respect to
+    [State i] (time and inputs are treated as constants), with constant
+    folding — used to build the variational equation of the Loehner
+    integrator. *)

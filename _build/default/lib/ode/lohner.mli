@@ -1,0 +1,52 @@
+(** Mean-value (Loehner) validated integration with QR re-orthonormalised
+    error frames — the classical AWA / DynIBEX scheme the paper builds
+    on.
+
+    The direct interval Taylor method ({!Onestep}) re-boxes the flow
+    after every step, which wraps rotating dynamics badly.  Here a set is
+    kept in the form [center + frame * errors] (a point, a float matrix,
+    an interval error box): the center moves by a point Taylor step, the
+    errors are propagated through an enclosure of the flow Jacobian
+    (computed from the variational equation [J' = df/dz J]) and the frame
+    is re-orthonormalised by a pivoted QR factorisation, which bounds the
+    wrapping introduced per step. *)
+
+type state = private {
+  center : float array;
+  frame : Nncs_linalg.Mat.t;
+  errors : Nncs_interval.Interval.t array;
+}
+
+val init : Nncs_interval.Box.t -> state
+(** Center = box midpoint, identity frame, errors = box - midpoint. *)
+
+val hull : state -> Nncs_interval.Box.t
+(** Sound box enclosure of the represented set. *)
+
+type step_result = {
+  next : state;
+  range : Nncs_interval.Box.t;
+      (** enclosure of the flow over the whole step *)
+}
+
+val step :
+  Ode.system ->
+  order:int ->
+  t1:float ->
+  h:float ->
+  inputs:Nncs_interval.Box.t ->
+  state ->
+  step_result
+(** One validated step; may raise {!Apriori.Enclosure_failure}. *)
+
+val jacobian_enclosure :
+  Ode.system ->
+  order:int ->
+  t1:float ->
+  h:float ->
+  inputs:Nncs_interval.Box.t ->
+  Nncs_interval.Box.t ->
+  Nncs_interval.Interval_matrix.t
+(** Enclosure of the derivative of the time-h flow map with respect to
+    the initial condition, over the given box of initial conditions
+    (exposed for tests and sensitivity analyses). *)

@@ -1,0 +1,23 @@
+(** Validated one-step integration by the interval Taylor-series method
+    (the two-step Loehner scheme the paper relies on): a Picard a-priori
+    enclosure bounds the Lagrange remainder of a degree-K Taylor
+    expansion of the flow. *)
+
+type result = {
+  range : Nncs_interval.Box.t;
+      (** Enclosure of the flow over the whole step [t1, t1+h]. *)
+  endpoint : Nncs_interval.Box.t;
+      (** Tighter enclosure of the flow at t1+h. *)
+}
+
+val step :
+  Ode.system ->
+  order:int ->
+  t1:float ->
+  h:float ->
+  state:Nncs_interval.Box.t ->
+  inputs:Nncs_interval.Box.t ->
+  result
+(** [order] is the Taylor order K >= 1 (the remainder uses the K-th
+    coefficient over the a-priori box).  May raise
+    {!Apriori.Enclosure_failure}. *)

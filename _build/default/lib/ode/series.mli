@@ -1,0 +1,60 @@
+(** Taylor-series arithmetic with interval coefficients, and the
+    computation of the interval Taylor coefficients of an ODE solution.
+
+    A value of type {!t} is the truncation [sum_k a_k * d^k] of a series
+    in the local time offset [d], each [a_k] an interval.  The recurrences
+    implemented here are the classical automatic-differentiation rules for
+    jets, evaluated in interval arithmetic so that every coefficient is a
+    sound enclosure. *)
+
+type t = Nncs_interval.Interval.t array
+(** Coefficients 0..K; all operands of an operation must share K. *)
+
+val order : t -> int
+(** K (= length - 1). *)
+
+val const : int -> Nncs_interval.Interval.t -> t
+val time_var : int -> Nncs_interval.Interval.t -> t
+(** Series of [t] expanded at the given instant: [t0 + 1*d]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Requires the divisor's 0-coefficient to not contain 0. *)
+
+val sqr : t -> t
+val sqrt : t -> t
+val exp : t -> t
+val sin_cos : t -> t * t
+val atan : t -> t
+val pow : t -> int -> t
+
+val eval_expr :
+  Expr.t ->
+  time:t ->
+  state:t array ->
+  inputs:Nncs_interval.Box.t ->
+  t
+(** Series extension of an expression.  Commands are constant in time so
+    an input contributes only to coefficient 0. *)
+
+val solution_coeffs :
+  rhs:Expr.t array ->
+  order:int ->
+  time:Nncs_interval.Interval.t ->
+  state:Nncs_interval.Box.t ->
+  inputs:Nncs_interval.Box.t ->
+  Nncs_interval.Interval.t array array
+(** [solution_coeffs ~rhs ~order:k ~time ~state ~inputs] returns, for each
+    state dimension, enclosures of the Taylor coefficients 0..k of the ODE
+    solution through [state] at [time], using the recurrence
+    [z^(k+1) = f(z)^(k) / (k+1)]. *)
+
+val horner :
+  Nncs_interval.Interval.t array ->
+  Nncs_interval.Interval.t ->
+  Nncs_interval.Interval.t
+(** [horner coeffs d] evaluates [sum_k coeffs_k * d^k] soundly. *)

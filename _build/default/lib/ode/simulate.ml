@@ -1,0 +1,42 @@
+module B = Nncs_interval.Box
+
+type scheme = Direct | Lohner
+
+type result = { pieces : B.t array; range : B.t; endpoint : B.t }
+
+let simulate_direct sys ~t0 ~period ~steps ~order ~state ~inputs =
+  let h = period /. float_of_int steps in
+  let pieces = Array.make steps state in
+  let current = ref state in
+  for i = 0 to steps - 1 do
+    let t1 = t0 +. (float_of_int i *. h) in
+    let { Onestep.range; endpoint } =
+      Onestep.step sys ~order ~t1 ~h ~state:!current ~inputs
+    in
+    pieces.(i) <- range;
+    current := endpoint
+  done;
+  let range = Array.fold_left B.hull pieces.(0) pieces in
+  { pieces; range; endpoint = !current }
+
+let simulate_lohner sys ~t0 ~period ~steps ~order ~state ~inputs =
+  let h = period /. float_of_int steps in
+  let pieces = Array.make steps state in
+  let current = ref (Lohner.init state) in
+  for i = 0 to steps - 1 do
+    let t1 = t0 +. (float_of_int i *. h) in
+    let { Lohner.next; range } =
+      Lohner.step sys ~order ~t1 ~h ~inputs !current
+    in
+    pieces.(i) <- range;
+    current := next
+  done;
+  let range = Array.fold_left B.hull pieces.(0) pieces in
+  { pieces; range; endpoint = Lohner.hull !current }
+
+let simulate ?(scheme = Direct) sys ~t0 ~period ~steps ~order ~state ~inputs =
+  if steps <= 0 then invalid_arg "Simulate.simulate: steps must be positive";
+  if period <= 0.0 then invalid_arg "Simulate.simulate: period must be positive";
+  match scheme with
+  | Direct -> simulate_direct sys ~t0 ~period ~steps ~order ~state ~inputs
+  | Lohner -> simulate_lohner sys ~t0 ~period ~steps ~order ~state ~inputs

@@ -1,0 +1,1 @@
+test/test_acasxu.ml: Alcotest Array Float Fun Lazy List Nncs Nncs_acasxu Nncs_interval Nncs_linalg Nncs_nn Nncs_ode Option Printf QCheck QCheck_alcotest

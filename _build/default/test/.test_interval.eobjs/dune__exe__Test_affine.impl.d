@@ -1,0 +1,1 @@
+test/test_affine.ml: Alcotest List Nncs_affine Nncs_interval Printf QCheck QCheck_alcotest

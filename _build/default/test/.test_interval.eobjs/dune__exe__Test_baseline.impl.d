@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Command Concrete Controller Float List Nncs Nncs_baseline Nncs_interval Nncs_linalg Nncs_nn Nncs_ode Reach Spec Symset Symstate System

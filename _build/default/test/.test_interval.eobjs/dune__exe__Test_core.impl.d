@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Float Fun Gen List Nncs Nncs_interval Nncs_linalg Nncs_nn Nncs_nnabs Nncs_ode Printf QCheck QCheck_alcotest Sys

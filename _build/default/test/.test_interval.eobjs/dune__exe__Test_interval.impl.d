@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Float List Nncs_interval Printf QCheck QCheck_alcotest

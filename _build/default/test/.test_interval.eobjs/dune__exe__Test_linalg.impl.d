@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Fun List Nncs_linalg

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Filename Float Fun List Nncs_linalg Nncs_nn Printf Sys

@@ -1,0 +1,1 @@
+test/test_nnabs.ml: Alcotest Array Float List Nncs_interval Nncs_linalg Nncs_nn Nncs_nnabs Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ode.ml: Alcotest Array Float List Nncs_interval Nncs_linalg Nncs_ode Printf QCheck QCheck_alcotest

@@ -1,0 +1,351 @@
+(* ACAS Xu use case: conventions of the kinematic model, soundness of the
+   pre-processing abstraction, the DP policy's qualitative behaviour, the
+   ribbon partition, and a fast end-to-end training sanity check. *)
+
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module Rng = Nncs_linalg.Rng
+module D = Nncs_acasxu.Defs
+module Dyn = Nncs_acasxu.Dynamics
+module P = Nncs_acasxu.Policy
+module T = Nncs_acasxu.Training
+module S = Nncs_acasxu.Scenario
+module Symset = Nncs.Symset
+module Symstate = Nncs.Symstate
+module Reach = Nncs.Reach
+module Concrete = Nncs.Concrete
+
+let check = Alcotest.(check bool)
+
+(* small, fast DP configuration for tests *)
+let test_policy =
+  lazy
+    (P.compute
+       ~config:
+         {
+           P.default_config with
+           theta_cells = 25;
+           psi_cells = 25;
+           iterations = 50;
+         }
+       ())
+
+let test_defs () =
+  Alcotest.(check int) "5 advisories" 5 (Array.length D.advisories);
+  Array.iteri
+    (fun i a -> Alcotest.(check int) "index roundtrip" i (D.index a))
+    D.advisories;
+  check "COC is 0 rate" true (D.turn_rate_rad D.Coc = 0.0);
+  check "left is ccw positive" true (D.turn_rate_rad D.Strong_left > 0.0);
+  check "right is negative" true (D.turn_rate_rad D.Weak_right < 0.0);
+  Alcotest.(check int) "command set size" 5 (Nncs.Command.size D.commands)
+
+let test_wrap_angle () =
+  let pi = Float.pi in
+  Alcotest.(check (float 1e-12)) "wrap 0" 0.0 (Dyn.wrap_angle 0.0);
+  Alcotest.(check (float 1e-9)) "wrap 2pi" 0.0 (Dyn.wrap_angle (2.0 *. pi));
+  Alcotest.(check (float 1e-9)) "wrap -2pi" 0.0 (Dyn.wrap_angle (-2.0 *. pi));
+  check "wrap into range" true
+    (let v = Dyn.wrap_angle 17.0 in
+     v > -.pi -. 1e-9 && v <= pi +. 1e-9);
+  Alcotest.(check (float 1e-9)) "wrap pi+0.1" (-.pi +. 0.1) (Dyn.wrap_angle (pi +. 0.1))
+
+let test_rho_theta_convention () =
+  (* intruder directly ahead: theta = 0 *)
+  let _, th = Dyn.rho_theta ~x:0.0 ~y:1000.0 in
+  Alcotest.(check (float 1e-12)) "ahead" 0.0 th;
+  (* intruder on the left (x < 0): positive bearing *)
+  let _, thl = Dyn.rho_theta ~x:(-1000.0) ~y:0.0 in
+  Alcotest.(check (float 1e-9)) "left" (Float.pi /. 2.0) thl;
+  let rho, _ = Dyn.rho_theta ~x:300.0 ~y:400.0 in
+  Alcotest.(check (float 1e-9)) "rho" 500.0 rho
+
+let test_dynamics_headon_closure () =
+  (* head-on: intruder ahead (y > 0) flying towards us (psi = pi), no
+     turn: y must decrease at v_own + v_int, x stays 0 *)
+  let s = [| 0.0; 8000.0; Float.pi; D.v_own_fps; D.v_int_fps |] in
+  let d = Nncs_ode.Ode.eval_rhs Dyn.plant ~time:0.0 ~state:s ~inputs:[| 0.0 |] in
+  Alcotest.(check (float 1e-9)) "x' = 0" 0.0 d.(0);
+  Alcotest.(check (float 1e-6)) "y' = -(vo+vi)" (-1300.0) d.(1);
+  Alcotest.(check (float 1e-12)) "psi' = 0" 0.0 d.(2)
+
+let test_dynamics_turn_rotates () =
+  (* left (ccw) ownship turn: relative heading psi decreases *)
+  let s = [| 0.0; 8000.0; 0.5; D.v_own_fps; D.v_int_fps |] in
+  let u = D.turn_rate_rad D.Strong_left in
+  let d = Nncs_ode.Ode.eval_rhs Dyn.plant ~time:0.0 ~state:s ~inputs:[| u |] in
+  check "psi' = -u" true (Float.abs (d.(2) +. u) < 1e-12)
+
+let random_state rng =
+  [|
+    Rng.uniform rng (-9000.0) 9000.0;
+    Rng.uniform rng (-9000.0) 9000.0;
+    Rng.uniform rng (-3.0) 3.0;
+    D.v_own_fps;
+    D.v_int_fps;
+  |]
+
+let prop_pre_abs_sound =
+  QCheck.Test.make ~count:300 ~name:"Pre# encloses Pre"
+    (QCheck.make
+       ~print:(fun seed -> string_of_int seed)
+       QCheck.Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let s = random_state rng in
+      QCheck.assume (Float.abs s.(0) +. Float.abs s.(1) > 1.0);
+      (* box around the state *)
+      let w = Rng.uniform rng 0.0 200.0 in
+      let box =
+        B.of_intervals
+          (Array.mapi
+             (fun i v ->
+               if i <= 1 then I.make (v -. w) (v +. w)
+               else if i = 2 then I.make (v -. 0.05) (v +. 0.05)
+               else I.of_float v)
+             s)
+      in
+      let out = Dyn.pre_abs box in
+      (* sample members of the box, their pre must be inside *)
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let p =
+          Array.mapi
+            (fun i iv ->
+              ignore i;
+              Rng.uniform rng (I.lo iv) (I.hi iv))
+            (B.to_array box)
+        in
+        if not (B.contains out (Dyn.pre p)) then ok := false
+      done;
+      !ok)
+
+let test_policy_far_is_coc () =
+  let p = Lazy.force test_policy in
+  (* intruder far away moving away: no alert *)
+  Alcotest.(check int) "far diverging -> COC" 0
+    (P.best_action p ~prev:0 ~rho:7800.0 ~theta:3.0 ~psi:0.1)
+
+let test_policy_scores_shape () =
+  let p = Lazy.force test_policy in
+  let s = P.scores p ~prev:1 ~rho:3000.0 ~theta:0.3 ~psi:(-2.0) in
+  Alcotest.(check int) "5 scores" 5 (Array.length s);
+  Array.iter (fun v -> check "finite" true (Float.is_finite v)) s;
+  (* switching penalty: keeping WL must be cheaper than the same state's
+     WR score by at least the reversal surcharge, when the table value
+     is equal; here just check prev=WL lowers WL's relative score *)
+  let s_coc = P.scores p ~prev:0 ~rho:3000.0 ~theta:0.3 ~psi:(-2.0) in
+  check "prev=WL discounts WL" true (s.(1) -. s_coc.(1) < 0.0 +. 1e-9)
+
+(* Exact collision-course heading: the intruder's velocity minus the
+   ownship's must point from the intruder towards the origin.  Solving
+   for the heading yields real solutions only in the front sector
+   (sin(bearing) >= sqrt(13/49)), consistent with the ownship being
+   faster than the intruder. *)
+let collision_heading bearing =
+  let vo = D.v_own_fps and vi = D.v_int_fps in
+  let disc = (vo *. vo *. Float.sin bearing *. Float.sin bearing) -. ((vo *. vo) -. (vi *. vi)) in
+  if disc < 0.0 then None
+  else
+    let lambda = (vo *. Float.sin bearing) +. Float.sqrt disc in
+    let s = lambda *. Float.cos bearing /. vi in
+    let c = (vo -. (lambda *. Float.sin bearing)) /. vi in
+    Some (Float.atan2 s c)
+
+let test_collision_heading_headon () =
+  (* dead ahead: the collision course is exactly head-on (psi = pi) *)
+  match collision_heading (Float.pi /. 2.0) with
+  | Some h -> Alcotest.(check (float 1e-9)) "head-on" Float.pi (Float.abs h)
+  | None -> Alcotest.fail "head-on collision course must exist"
+
+let test_policy_reduces_collisions () =
+  let p = Lazy.force test_policy in
+  (* compare closed-loop (table) vs no-avoidance on exact collision
+     courses; the table policy must strictly reduce collisions *)
+  let bearings =
+    List.filter_map
+      (fun ib ->
+        let bearing = 0.7 +. (1.8 *. float_of_int ib /. 9.0) in
+        Option.map (fun h -> (bearing, h)) (collision_heading bearing))
+      (List.init 10 Fun.id)
+  in
+  check "collision courses exist" true (List.length bearings >= 5);
+  let count_collisions use_policy =
+    let collisions = ref 0 in
+    List.iter (fun (bearing, heading) ->
+        let s = ref (S.initial_state ~bearing ~heading) in
+        let cmd = ref 0 in
+        let min_rho = ref infinity in
+        for j = 0 to 19 do
+          let rho, theta = Dyn.rho_theta ~x:!s.(0) ~y:!s.(1) in
+          let next =
+            if use_policy then P.best_action p ~prev:!cmd ~rho ~theta ~psi:!s.(2)
+            else 0
+          in
+          let u = [| D.turn_rate_rad (D.of_index !cmd) |] in
+          for i = 0 to 9 do
+            s :=
+              Nncs_ode.Ode.rk4_step Dyn.plant
+                ~time:(float_of_int j +. (0.1 *. float_of_int i))
+                ~state:!s ~inputs:u ~h:0.1;
+            let rho, _ = Dyn.rho_theta ~x:!s.(0) ~y:!s.(1) in
+            min_rho := Float.min !min_rho rho
+          done;
+          cmd := next
+        done;
+        if !min_rho < D.collision_radius_ft then incr collisions)
+      bearings;
+    !collisions
+  in
+  let without = count_collisions false and with_p = count_collisions true in
+  check "policy strictly reduces collisions" true (with_p < without);
+  check "baseline has collisions" true (without > 0)
+
+let test_scenario_regions () =
+  let inside =
+    Nncs.Symstate.make
+      (B.of_bounds [| (0.0, 100.0); (0.0, 100.0); (0.0, 0.0); (700.0, 700.0); (600.0, 600.0) |])
+      0
+  in
+  check "collision region" true (S.erroneous.Nncs.Spec.contains_box inside);
+  let far =
+    Nncs.Symstate.make
+      (B.of_bounds
+         [| (8200.0, 8400.0); (100.0, 200.0); (0.0, 0.0); (700.0, 700.0); (600.0, 600.0) |])
+      0
+  in
+  check "out of range region" true (S.target.Nncs.Spec.contains_box far)
+
+let test_initial_state_on_circle () =
+  let s = S.initial_state ~bearing:0.7 ~heading:2.0 in
+  let rho, _ = Dyn.rho_theta ~x:s.(0) ~y:s.(1) in
+  Alcotest.(check (float 1e-6)) "on sensor circle" D.sensor_range_ft rho;
+  Alcotest.(check (float 0.0)) "velocities" D.v_own_fps s.(3)
+
+let test_heading_cone_enters () =
+  (* a heading inside the cone must make rho decrease initially *)
+  List.iter
+    (fun bearing ->
+      let lo, hi = S.heading_cone ~bearing in
+      let heading = 0.5 *. (lo +. hi) in
+      let s = S.initial_state ~bearing ~heading in
+      let d = Nncs_ode.Ode.eval_rhs Dyn.plant ~time:0.0 ~state:s ~inputs:[| 0.0 |] in
+      let rho_dot = ((s.(0) *. d.(0)) +. (s.(1) *. d.(1))) /. D.sensor_range_ft in
+      check
+        (Printf.sprintf "bearing %.2f: inward" bearing)
+        true (rho_dot < 0.0))
+    [ 0.3; 1.5; 2.8; 4.0; 5.5 ]
+
+let test_initial_cells_structure () =
+  let cells = S.initial_cells ~arcs:12 ~headings:6 () in
+  Alcotest.(check int) "12*6 cells" 72 (List.length cells);
+  List.iter
+    (fun (arc, st) ->
+      check "valid arc" true (arc >= 0 && arc < 12);
+      Alcotest.(check int) "starts at COC" 0 st.Nncs.Symstate.cmd;
+      let psi = B.get st.Nncs.Symstate.box D.ipsi in
+      check "heading within training range" true
+        (I.lo psi > -.T.psi_training_halfwidth
+        && I.hi psi < T.psi_training_halfwidth))
+    cells;
+  (* selected arcs only *)
+  let some = S.initial_cells ~arcs:12 ~headings:6 ~arc_indices:[ 0; 5 ] () in
+  Alcotest.(check int) "2 arcs" 12 (List.length some)
+
+let test_training_quick () =
+  (* tiny spec: verify the cloning pipeline actually fits the tables —
+     regression error must drop well below the variance of the target *)
+  let p = Lazy.force test_policy in
+  let rng = Rng.create 1234 in
+  let spec =
+    { T.default_spec with hidden = [ 24; 24 ]; samples = 4000; epochs = 12 }
+  in
+  let net, agreement = T.train_network ~spec p ~prev:0 in
+  let fresh = T.build_dataset ~rng p ~prev:0 ~n:2000 in
+  let mse = Nncs_nn.Dataset.mse net fresh in
+  (* targets are clipped advantages in [0, 0.5] *)
+  check "regression fits advantages" true (mse < 0.03);
+  check "argmin beats uniform chance" true (agreement > 0.3)
+
+
+(* end-to-end enclosure: the symbolic reachability of the full ACAS Xu
+   closed loop (with quickly-trained networks) must contain sampled
+   concrete trajectories at every sampling instant *)
+let test_reach_encloses_concrete () =
+  let p = Lazy.force test_policy in
+  let spec =
+    { T.default_spec with hidden = [ 24; 24 ]; samples = 4000; epochs = 12 }
+  in
+  (* one small net reused for all five advisories keeps this test fast;
+     the controller structure (select/pre/post) is the real one *)
+  let net, _ = T.train_network ~spec p ~prev:0 in
+  let networks = Array.make 5 net in
+  let sys = S.system ~networks () in
+  let cells = S.initial_cells ~arcs:72 ~headings:18 ~arc_indices:[ 54 ] () in
+  let _, cell = List.nth cells 9 in
+  let r =
+    Reach.analyze
+      ~config:{ Reach.default_config with early_abort = false }
+      sys
+      (Symset.of_list [ cell ])
+  in
+  let rng = Rng.create 2025 in
+  let steps = Array.of_list r.Reach.steps in
+  for _ = 1 to 10 do
+    let s0 =
+      Array.mapi
+        (fun i iv ->
+          ignore i;
+          Rng.uniform rng (I.lo iv) (I.hi iv))
+        (B.to_array cell.Symstate.box)
+    in
+    let trace = Concrete.simulate ~substeps:10 sys ~init_state:s0 ~init_cmd:0 in
+    List.iter
+      (fun (t, st, cmd) ->
+        let j = int_of_float (t +. 1e-9) in
+        if Float.abs (t -. Float.round t) < 1e-9 && j < Array.length steps
+        then
+          check
+            (Printf.sprintf "trace (t=%g) enclosed" t)
+            true
+            (Symset.member steps.(j).Reach.flow st cmd))
+      trace.Concrete.points
+  done
+
+let () =
+  Alcotest.run "acasxu"
+    [
+      ( "defs",
+        [
+          Alcotest.test_case "advisories" `Quick test_defs;
+          Alcotest.test_case "wrap angle" `Quick test_wrap_angle;
+        ] );
+      ( "dynamics",
+        [
+          Alcotest.test_case "rho/theta convention" `Quick test_rho_theta_convention;
+          Alcotest.test_case "head-on closure" `Quick test_dynamics_headon_closure;
+          Alcotest.test_case "turn rotates heading" `Quick test_dynamics_turn_rotates;
+          QCheck_alcotest.to_alcotest prop_pre_abs_sound;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "far is COC" `Quick test_policy_far_is_coc;
+          Alcotest.test_case "collision heading" `Quick test_collision_heading_headon;
+          Alcotest.test_case "score shape" `Quick test_policy_scores_shape;
+          Alcotest.test_case "reduces collisions" `Slow test_policy_reduces_collisions;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "regions" `Quick test_scenario_regions;
+          Alcotest.test_case "initial state" `Quick test_initial_state_on_circle;
+          Alcotest.test_case "heading cone" `Quick test_heading_cone_enters;
+          Alcotest.test_case "initial cells" `Quick test_initial_cells_structure;
+        ] );
+      ( "training",
+        [ Alcotest.test_case "quick training" `Slow test_training_quick ] );
+      ( "integration",
+        [
+          Alcotest.test_case "reach encloses concrete" `Slow
+            test_reach_encloses_concrete;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+(* Affine arithmetic: containment of concrete values, agreement with the
+   interval concretisation, correlation cancellation (x - x = 0). *)
+
+module A = Nncs_affine.Affine_form
+module I = Nncs_interval.Interval
+
+let check = Alcotest.(check bool)
+
+let test_of_interval_roundtrip () =
+  let iv = I.make 1.0 3.0 in
+  let a = A.of_interval iv in
+  check "concretisation contains source" true (I.subset iv (A.to_interval a));
+  check "not much wider" true (I.width (A.to_interval a) < 2.0 +. 1e-9)
+
+let test_correlation () =
+  let iv = I.make (-1.0) 1.0 in
+  let a = A.of_interval iv in
+  let zero = A.sub a a in
+  (* x - x with a shared noise symbol collapses to (nearly) zero, while
+     interval arithmetic would give [-2, 2] *)
+  check "x - x tiny" true (I.width (A.to_interval zero) < 1e-12);
+  let b = A.of_interval iv in
+  let indep = A.sub a b in
+  check "x - y wide" true (I.width (A.to_interval indep) > 3.9)
+
+let test_shared_symbol () =
+  let sym = A.fresh_symbol () in
+  let x = A.of_interval_with sym (I.make 0.0 2.0) in
+  let y = A.of_interval_with sym (I.make 0.0 4.0) in
+  (* y = 2x when built on the same symbol: y - 2x = 0 *)
+  let d = A.sub y (A.scale 2.0 x) in
+  check "2x correlation" true (I.width (A.to_interval d) < 1e-12)
+
+let test_linear_combination () =
+  let x = A.of_interval (I.make 0.0 1.0) in
+  let y = A.of_interval (I.make 2.0 3.0) in
+  let z = A.linear_combination [ (2.0, x); (-1.0, y) ] 0.5 in
+  (* exact range: 2*[0,1] - [2,3] + 0.5 = [-2.5, 0.5] *)
+  let iv = A.to_interval z in
+  check "lower" true (I.lo iv <= -2.5 && I.lo iv > -2.6);
+  check "upper" true (I.hi iv >= 0.5 && I.hi iv < 0.6)
+
+(* qcheck: sampled concrete evaluations stay inside the concretisation *)
+
+let affine_expr_gen =
+  (* build a random expression over two interval inputs; returns the
+     affine value and a concrete evaluator *)
+  QCheck.Gen.(
+    let* l1 = float_range (-10.0) 10.0 in
+    let* w1 = float_range 0.0 5.0 in
+    let* l2 = float_range (-10.0) 10.0 in
+    let* w2 = float_range 0.0 5.0 in
+    let* c1 = float_range (-3.0) 3.0 in
+    let* c2 = float_range (-3.0) 3.0 in
+    let* k = float_range (-3.0) 3.0 in
+    let* t1 = float_range 0.0 1.0 in
+    let* t2 = float_range 0.0 1.0 in
+    return ((l1, w1, l2, w2, c1, c2, k), (t1, t2)))
+
+let arb_affine_case =
+  QCheck.make
+    ~print:(fun ((l1, w1, l2, w2, c1, c2, k), (t1, t2)) ->
+      Printf.sprintf "x=[%g,%g] y=[%g,%g] c1=%g c2=%g k=%g t=(%g,%g)" l1
+        (l1 +. w1) l2 (l2 +. w2) c1 c2 k t1 t2)
+    affine_expr_gen
+
+let prop_affine_sound =
+  QCheck.Test.make ~count:1000 ~name:"affine ops sound" arb_affine_case
+    (fun ((l1, w1, l2, w2, c1, c2, k), (t1, t2)) ->
+      let ix = I.make l1 (l1 +. w1) and iy = I.make l2 (l2 +. w2) in
+      let x = A.of_interval ix and y = A.of_interval iy in
+      (* value = c1*x + c2*y + k + x*y *)
+      let v =
+        A.add (A.linear_combination [ (c1, x); (c2, y) ] k) (A.mul x y)
+      in
+      let cx = l1 +. (t1 *. w1) and cy = l2 +. (t2 *. w2) in
+      let concrete = (c1 *. cx) +. (c2 *. cy) +. k +. (cx *. cy) in
+      I.contains (A.to_interval v) concrete)
+
+let prop_mul_vs_interval =
+  QCheck.Test.make ~count:500 ~name:"affine mul within 4x of interval mul"
+    arb_affine_case
+    (fun ((l1, w1, l2, w2, _, _, _), _) ->
+      let ix = I.make l1 (l1 +. w1) and iy = I.make l2 (l2 +. w2) in
+      let a = A.mul (A.of_interval ix) (A.of_interval iy) in
+      let wi = I.width (I.mul ix iy) in
+      I.width (A.to_interval a) <= (4.0 *. wi) +. 1e-9)
+
+let () =
+  Alcotest.run "affine"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "interval roundtrip" `Quick
+            test_of_interval_roundtrip;
+          Alcotest.test_case "correlation" `Quick test_correlation;
+          Alcotest.test_case "shared symbols" `Quick test_shared_symbol;
+          Alcotest.test_case "linear combination" `Quick
+            test_linear_combination;
+        ] );
+      ( "affine-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_affine_sound; prop_mul_vs_interval ] );
+    ]

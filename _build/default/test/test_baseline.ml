@@ -1,0 +1,243 @@
+(* Baselines: the discrete-instant grid method (and the between-samples
+   collision it misses, which sound reachability catches), and the
+   falsifier (finds witnesses on unsafe systems, none on safe ones). *)
+
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module E = Nncs_ode.Expr
+module Net = Nncs_nn.Network
+module Act = Nncs_nn.Activation
+module Mat = Nncs_linalg.Mat
+open Nncs
+
+let check = Alcotest.(check bool)
+
+(* trivial one-command controller built on a constant network *)
+let constant_controller ~period ~commands =
+  let output =
+    { Net.weights = Mat.create 1 1 0.0; biases = [| 0.0 |]; activation = Act.Linear }
+  in
+  Controller.make ~period ~commands
+    ~networks:[| Net.make ~input_dim:1 [| output |] |]
+    ~select:(fun _ -> 0)
+    ~pre:(fun s -> [| s.(0) |])
+    ~pre_abs:(fun b -> B.of_intervals [| B.get b 0 |])
+    ~post:(fun _ -> 0)
+    ~post_abs:(fun _ -> [ 0 ])
+    ()
+
+(* Oscillator that dips into E strictly between sampling instants:
+   x' = v, v' = -omega^2 x, period T = 1, omega = 2pi, so one full swing
+   happens per control period; E = {x > 0.9}; starting near (0, 2pi*0.95)
+   the peak x = 0.95 occurs at t = 0.25, back at x ~ 0 at t = 1. *)
+let oscillator_system () =
+  let omega = 2.0 *. Float.pi in
+  let plant =
+    Nncs_ode.Ode.make ~dim:2 ~input_dim:1
+      [| E.state 1; E.(scale (-.(omega *. omega)) (state 0)) |]
+  in
+  let commands = Command.make [| [| 0.0 |] |] in
+  System.make ~plant
+    ~controller:(constant_controller ~period:1.0 ~commands)
+    ~erroneous:(Spec.coord_gt ~name:"peak" ~dim:0 ~bound:0.9)
+    ~target:(Spec.coord_lt ~name:"never" ~dim:0 ~bound:(-100.0))
+    ~horizon_steps:3
+
+let peak_cell =
+  Symstate.make (B.of_bounds [| (0.0, 0.0); (5.9, 6.0) |]) 0
+(* amplitude = v0 / omega ~ 0.94..0.955: crosses 0.9 mid-period *)
+
+let test_discrete_misses_between_samples () =
+  let sys = oscillator_system () in
+  (* the discrete method samples at t = 0, 1, 2, 3 where x ~ 0: blind *)
+  let verdict = Nncs_baseline.Discrete.analyze sys peak_cell in
+  check "discrete method sees nothing" true
+    (verdict = Nncs_baseline.Discrete.No_collision_observed);
+  (* sound reachability must flag the excursion *)
+  let r = Reach.analyze sys (Symset.of_list [ peak_cell ]) in
+  (match r.Reach.outcome with
+  | Reach.Reached_error _ -> ()
+  | _ -> Alcotest.fail "reachability should catch the mid-period excursion");
+  (* and a concrete simulation confirms the excursion is real (the
+     reachability verdict is not an over-approximation artefact) *)
+  let trace =
+    Concrete.simulate ~substeps:50 sys ~init_state:[| 0.0; 5.95 |] ~init_cmd:0
+  in
+  match trace.Concrete.termination with
+  | Concrete.Hit_error t -> check "hit strictly between samples" true (Float.rem t 1.0 > 0.01)
+  | _ -> Alcotest.fail "expected a real excursion"
+
+let test_discrete_detects_at_samples () =
+  (* runaway integrator reaches E and stays: visible at sampling instants *)
+  let plant = Nncs_ode.Ode.make ~dim:1 ~input_dim:1 [| E.input 0 |] in
+  let commands = Command.make [| [| 1.0 |] |] in
+  let sys =
+    System.make ~plant
+      ~controller:(constant_controller ~period:1.0 ~commands)
+      ~erroneous:(Spec.coord_gt ~name:"high" ~dim:0 ~bound:2.0)
+      ~target:(Spec.coord_lt ~name:"never" ~dim:0 ~bound:(-100.0))
+      ~horizon_steps:5
+  in
+  let cell = Symstate.make (B.of_bounds [| (0.0, 0.5) |]) 0 in
+  match Nncs_baseline.Discrete.analyze sys cell with
+  | Nncs_baseline.Discrete.Collision_at_sample { step; _ } ->
+      check "found within horizon" true (step <= 5)
+  | Nncs_baseline.Discrete.No_collision_observed ->
+      Alcotest.fail "discrete method should see a persistent violation"
+
+let test_falsify_finds_witness () =
+  let sys = oscillator_system () in
+  let metric s = 0.9 -. s.(0) in
+  let result =
+    Nncs_baseline.Falsify.falsify
+      ~config:{ Nncs_baseline.Falsify.default_config with substeps = 50 }
+      sys ~cell:peak_cell ~metric
+  in
+  (match result.Nncs_baseline.Falsify.witness with
+  | Some (init, trace) ->
+      check "witness in cell" true (B.contains peak_cell.Symstate.box init);
+      (match trace.Concrete.termination with
+      | Concrete.Hit_error _ -> ()
+      | _ -> Alcotest.fail "witness trace must hit E")
+  | None -> Alcotest.fail "falsifier should find the excursion");
+  check "metric negative" true (result.Nncs_baseline.Falsify.best_metric <= 0.0)
+
+let test_falsify_clean_on_safe () =
+  (* same oscillator but smaller amplitude: never crosses 0.9 *)
+  let sys = oscillator_system () in
+  let cell = Symstate.make (B.of_bounds [| (0.0, 0.0); (3.0, 3.5) |]) 0 in
+  let metric s = 0.9 -. s.(0) in
+  let result =
+    Nncs_baseline.Falsify.falsify
+      ~config:{ Nncs_baseline.Falsify.default_config with shots = 20; substeps = 50 }
+      sys ~cell ~metric
+  in
+  check "no witness" true (result.Nncs_baseline.Falsify.witness = None);
+  check "metric stays positive" true (result.Nncs_baseline.Falsify.best_metric > 0.0)
+
+let test_falsify_counts_simulations () =
+  let sys = oscillator_system () in
+  let cell = Symstate.make (B.of_bounds [| (0.0, 0.0); (3.0, 3.5) |]) 0 in
+  let config = { Nncs_baseline.Falsify.default_config with shots = 5; descent_steps = 3 } in
+  let result =
+    Nncs_baseline.Falsify.falsify ~config sys ~cell ~metric:(fun s -> 0.9 -. s.(0))
+  in
+  Alcotest.(check int) "simulation budget respected" 20
+    result.Nncs_baseline.Falsify.simulations
+
+
+(* ----- triage: proofs + counterexamples ----- *)
+
+(* Damped oscillator: x' = v, v' = -omega^2 x - d v.  Trajectories decay
+   into the "settled" target; large initial velocities overshoot x = 0.9
+   on the first swing.  Verification uses the Loehner scheme (a box
+   through a full rotation wraps hopelessly with the direct scheme). *)
+let damped_system () =
+  let omega = 2.0 *. Float.pi in
+  let plant =
+    Nncs_ode.Ode.make ~dim:2 ~input_dim:1
+      [|
+        E.state 1;
+        E.(scale (-.(omega *. omega)) (state 0) - scale 0.8 (state 1));
+      |]
+  in
+  let commands = Command.make [| [| 0.0 |] |] in
+  let settled =
+    Spec.make ~name:"settled"
+      ~contains_box:(fun st ->
+        I.hi (I.abs (B.get st.Symstate.box 0)) < 0.3
+        && I.hi (I.abs (B.get st.Symstate.box 1)) < 2.5)
+      ~intersects_box:(fun st ->
+        I.mig (B.get st.Symstate.box 0) < 0.3
+        && I.mig (B.get st.Symstate.box 1) < 2.5)
+      ~contains_point:(fun s _ -> Float.abs s.(0) < 0.3 && Float.abs s.(1) < 2.5)
+  in
+  System.make ~plant
+    ~controller:(constant_controller ~period:1.0 ~commands)
+    ~erroneous:(Spec.coord_gt ~name:"peak" ~dim:0 ~bound:0.9)
+    ~target:settled ~horizon_steps:8
+
+let test_triage_buckets () =
+  (* three kinds of cells:
+     - small amplitude: provable safe (settles without nearing E),
+     - large amplitude: really unsafe (falsifiable on the first swing),
+     - straddling the boundary at a coarse cell: unknown at depth 0 *)
+  let sys = damped_system () in
+  let metric s = 0.9 -. s.(0) in
+  let config =
+    {
+      Nncs_baseline.Triage.verify =
+        {
+          Nncs.Verify.default_config with
+          reach =
+            {
+              Nncs.Reach.default_config with
+              keep_sets = false;
+              scheme = Nncs_ode.Simulate.Lohner;
+            };
+          strategy = Nncs.Verify.All_dims [ 1 ];
+          max_depth = 0;
+        };
+      falsify =
+        { Nncs_baseline.Falsify.default_config with shots = 30; substeps = 50 };
+      metric;
+    }
+  in
+  let cell lo hi = Symstate.make (B.of_bounds [| (0.0, 0.0); (lo, hi) |]) 0 in
+  let report =
+    Nncs_baseline.Triage.triage config sys
+      [ cell 3.4 3.6; (* small swing: safe *)
+        cell 7.4 7.6; (* overshoots 0.9: unsafe *)
+        cell 4.2 5.8 (* wide: concretely safe, too coarse to prove *) ]
+  in
+  Alcotest.(check int) "one proved" 1 report.Nncs_baseline.Triage.proved;
+  Alcotest.(check int) "one falsified" 1 report.Nncs_baseline.Triage.falsified;
+  Alcotest.(check int) "one unknown" 1 report.Nncs_baseline.Triage.unknown;
+  (* the falsified cell carries a witness inside itself *)
+  List.iter
+    (fun (r : Nncs_baseline.Triage.cell_result) ->
+      match r.Nncs_baseline.Triage.verdict with
+      | Nncs_baseline.Triage.Falsified init ->
+          check "witness in cell" true
+            (B.contains r.Nncs_baseline.Triage.cell.Symstate.box init)
+      | Nncs_baseline.Triage.Proved | Nncs_baseline.Triage.Unknown -> ())
+    report.Nncs_baseline.Triage.results
+
+
+let test_falsify_cem_finds_witness () =
+  (* the cross-entropy strategy must also locate the excursion, and in a
+     narrower sliver than the one random descent gets *)
+  let sys = oscillator_system () in
+  let cell = Symstate.make (B.of_bounds [| (0.0, 0.0); (4.0, 6.0) |]) 0 in
+  (* only v0 > ~5.65 crosses 0.9: a 17% sliver of the cell *)
+  let result =
+    Nncs_baseline.Falsify.falsify
+      ~config:{ Nncs_baseline.Falsify.cem_config with substeps = 50 }
+      sys ~cell ~metric:(fun s -> 0.9 -. s.(0))
+  in
+  (match result.Nncs_baseline.Falsify.witness with
+  | Some (init, _) ->
+      check "witness velocity in the unsafe sliver" true (init.(1) > 5.5)
+  | None -> Alcotest.fail "CEM should find the sliver");
+  check "cem metric negative" true (result.Nncs_baseline.Falsify.best_metric <= 0.0)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "discrete",
+        [
+          Alcotest.test_case "misses between samples" `Quick
+            test_discrete_misses_between_samples;
+          Alcotest.test_case "detects at samples" `Quick
+            test_discrete_detects_at_samples;
+        ] );
+      ( "triage",
+        [ Alcotest.test_case "three buckets" `Quick test_triage_buckets ] );
+      ( "falsify",
+        [
+          Alcotest.test_case "finds witness" `Quick test_falsify_finds_witness;
+          Alcotest.test_case "cem finds sliver" `Quick test_falsify_cem_finds_witness;
+          Alcotest.test_case "clean on safe" `Quick test_falsify_clean_on_safe;
+          Alcotest.test_case "budget" `Quick test_falsify_counts_simulations;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Vectors, matrices and the deterministic RNG. *)
+
+module Vec = Nncs_linalg.Vec
+module Mat = Nncs_linalg.Mat
+module Rng = Nncs_linalg.Rng
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-12))
+
+let test_vec_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  checkf "dot" 32.0 (Vec.dot a b);
+  checkf "norm2" (sqrt 14.0) (Vec.norm2 a);
+  checkf "norm_inf" 3.0 (Vec.norm_inf a);
+  checkf "dist2" (sqrt 27.0) (Vec.dist2 a b);
+  Alcotest.(check int) "argmax" 2 (Vec.argmax a);
+  Alcotest.(check int) "argmin" 0 (Vec.argmin a);
+  checkf "sum" 6.0 (Vec.sum a);
+  checkf "mean" 2.0 (Vec.mean a);
+  let c = Vec.add a b in
+  checkf "add" 9.0 c.(2);
+  let y = Vec.copy b in
+  Vec.axpy 2.0 a y;
+  checkf "axpy" 12.0 y.(2);
+  check "dim mismatch rejected" true
+    (try
+       ignore (Vec.dot a [| 1.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mat_ops () =
+  let a = Mat.init 2 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  let at = Mat.transpose a in
+  Alcotest.(check int) "transpose rows" 3 (Mat.rows at);
+  checkf "transpose entry" (Mat.get a 0 2) (Mat.get at 2 0);
+  let i3 = Mat.identity 3 in
+  let ai = Mat.mul a i3 in
+  checkf "mul identity" (Mat.get a 1 2) (Mat.get ai 1 2);
+  let v = Mat.mul_vec a [| 1.0; 1.0; 1.0 |] in
+  checkf "mul_vec row sums" 3.0 v.(0);
+  checkf "mul_vec row sums'" 12.0 v.(1);
+  let tv = Mat.tmul_vec a [| 1.0; 1.0 |] in
+  checkf "tmul_vec equals transpose mul" (Mat.mul_vec at [| 1.0; 1.0 |]).(2) tv.(2);
+  let o = Mat.outer [| 1.0; 2.0 |] [| 3.0; 4.0 |] in
+  checkf "outer" 8.0 (Mat.get o 1 1);
+  checkf "frobenius of identity" (sqrt 3.0) (Mat.frobenius i3)
+
+let test_rng_determinism () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  for _ = 1 to 100 do
+    checkf "same stream" (Rng.float a 1.0) (Rng.float b 1.0)
+  done;
+  let c = Rng.create 100 in
+  check "different seed differs" true (Rng.float a 1.0 <> Rng.float c 1.0)
+
+let test_rng_ranges () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng (-2.0) 3.0 in
+    check "uniform in range" true (v >= -2.0 && v < 3.0);
+    let i = Rng.int rng 7 in
+    check "int in range" true (i >= 0 && i < 7)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 4 in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  check "same multiset" true (List.sort compare (Array.to_list b) = Array.to_list a);
+  check "actually shuffled" true (b <> a)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 12 in
+  let n = 20000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let g = Rng.gaussian rng in
+    sum := !sum +. g;
+    sumsq := !sumsq +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check "mean near 0" true (Float.abs mean < 0.03);
+  check "variance near 1" true (Float.abs (var -. 1.0) < 0.05)
+
+let test_rng_split_independent () =
+  let rng = Rng.create 8 in
+  let child = Rng.split rng in
+  (* drawing from the child does not change the parent's stream *)
+  let parent_next =
+    let ghost = Rng.copy rng in
+    Rng.float ghost 1.0
+  in
+  ignore (Rng.float child 1.0);
+  checkf "parent unaffected" parent_next (Rng.float rng 1.0)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ("vec", [ Alcotest.test_case "operations" `Quick test_vec_ops ]);
+      ("mat", [ Alcotest.test_case "operations" `Quick test_mat_ops ]);
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+    ]

@@ -1,0 +1,286 @@
+(* Abstract transformers: soundness (enclosure of sampled concrete
+   evaluations) for all three domains, relative tightness, and the
+   split-refinement wrapper. *)
+
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module Net = Nncs_nn.Network
+module Act = Nncs_nn.Activation
+module Mat = Nncs_linalg.Mat
+module Rng = Nncs_linalg.Rng
+module T = Nncs_nnabs.Transformer
+module Sym = Nncs_nnabs.Symbolic_prop
+
+let check = Alcotest.(check bool)
+
+let fig4_network () =
+  let hidden =
+    {
+      Net.weights = Mat.init 2 2 (fun i j -> [| [| -1.0; 4.0 |]; [| 3.0; -8.0 |] |].(i).(j));
+      biases = [| 5.0; 6.0 |];
+      activation = Act.Relu;
+    }
+  in
+  let output =
+    {
+      Net.weights = Mat.init 1 2 (fun _ j -> [| -0.5; 1.0 |].(j));
+      biases = [| 2.0 |];
+      activation = Act.Linear;
+    }
+  in
+  Net.make ~input_dim:2 [| hidden; output |]
+
+let random_net rng sizes = Net.create_mlp ~rng ~layer_sizes:sizes
+
+let sample_box rng box =
+  Array.init (B.dim box) (fun i ->
+      let iv = B.get box i in
+      Rng.uniform rng (I.lo iv) (I.hi iv))
+
+let soundness_case domain net box rng samples =
+  let out = T.propagate domain net box in
+  let ok = ref true in
+  for _ = 1 to samples do
+    let x = sample_box rng box in
+    let y = Net.eval net x in
+    if not (B.contains out y) then ok := false
+  done;
+  !ok
+
+let test_fig4_point () =
+  let net = fig4_network () in
+  let box = B.of_point [| 1.0; 2.0 |] in
+  List.iter
+    (fun d ->
+      let out = T.propagate d net box in
+      check
+        (Printf.sprintf "%s contains -4" (T.domain_to_string d))
+        true
+        (I.contains (B.get out 0) (-4.0));
+      check
+        (Printf.sprintf "%s tight on point" (T.domain_to_string d))
+        true
+        (I.width (B.get out 0) < 1e-9))
+    [ T.Interval; T.Symbolic; T.Affine ]
+
+let test_fig4_box () =
+  let net = fig4_network () in
+  let box = B.of_bounds [| (0.0, 2.0); (1.0, 3.0) |] in
+  let rng = Rng.create 17 in
+  List.iter
+    (fun d ->
+      check
+        (Printf.sprintf "%s sound on fig4" (T.domain_to_string d))
+        true
+        (soundness_case d net box rng 500))
+    [ T.Interval; T.Symbolic; T.Affine ]
+
+let test_symbolic_tighter_than_interval () =
+  (* a deep random network exhibits the dependency problem: symbolic
+     propagation must be significantly tighter *)
+  let rng = Rng.create 23 in
+  let net = random_net rng [ 4; 20; 20; 20; 3 ] in
+  let box =
+    B.of_bounds [| (-0.5, 0.5); (-0.5, 0.5); (-0.5, 0.5); (-0.5, 0.5) |]
+  in
+  let wi = B.max_width (T.propagate T.Interval net box) in
+  let ws = B.max_width (T.propagate T.Symbolic net box) in
+  let wa = B.max_width (T.propagate T.Affine net box) in
+  check "symbolic substantially tighter" true (ws < 0.8 *. wi);
+  (* affine is workload-dependent (its chord-relaxation noise symbols
+     accumulate on deep unstable nets) but must stay within a small
+     factor of interval; the quantitative comparison is bench E6 *)
+  check "affine comparable" true (wa < 2.0 *. wi)
+
+let test_stable_relu_exact_symbolic () =
+  (* network with strictly positive pre-activations on the box: symbolic
+     propagation is exact (up to rounding) because no relaxation fires *)
+  let l1 =
+    {
+      Net.weights = Mat.init 2 2 (fun i j -> if i = j then 1.0 else 0.0);
+      biases = [| 10.0; 10.0 |];
+      activation = Act.Relu;
+    }
+  in
+  let l2 =
+    {
+      Net.weights = Mat.init 1 2 (fun _ j -> [| 1.0; -1.0 |].(j));
+      biases = [| 0.0 |];
+      activation = Act.Linear;
+    }
+  in
+  let net = Net.make ~input_dim:2 [| l1; l2 |] in
+  let box = B.of_bounds [| (-1.0, 1.0); (-1.0, 1.0) |] in
+  let out = T.propagate T.Symbolic net box in
+  (* exact range of x - y over the box: [-2, 2] *)
+  check "lower near -2" true (Float.abs (I.lo (B.get out 0) +. 2.0) < 1e-6);
+  check "upper near 2" true (Float.abs (I.hi (B.get out 0) -. 2.0) < 1e-6);
+  (* interval propagation gives the same here (single affine path) but
+     with the dependency lost at the output layer it is still exact *)
+  let wi = B.max_width (T.propagate T.Interval net box) in
+  check "interval also ~4 wide" true (Float.abs (wi -. 4.0) < 1e-6)
+
+let test_split_refinement_tightens () =
+  let rng = Rng.create 31 in
+  let net = random_net rng [ 2; 16; 16; 2 ] in
+  let box = B.of_bounds [| (-1.0, 1.0); (-1.0, 1.0) |] in
+  let w0 = B.max_width (T.propagate T.Interval net box) in
+  let w2 = B.max_width (T.propagate_split T.Interval ~splits:2 net box) in
+  let w4 = B.max_width (T.propagate_split T.Interval ~splits:4 net box) in
+  check "2 splits tighter" true (w2 <= w0);
+  check "4 splits tighter" true (w4 <= w2);
+  check "strictly tighter somewhere" true (w4 < w0)
+
+let test_meet_all_sound_and_tighter () =
+  let rng = Rng.create 37 in
+  let net = random_net rng [ 3; 12; 12; 2 ] in
+  let box = B.of_bounds [| (-1.0, 1.0); (0.0, 1.0); (-0.2, 0.4) |] in
+  let meet = T.meet_all [ T.Interval; T.Symbolic; T.Affine ] net box in
+  let rng2 = Rng.create 99 in
+  let ok = ref true in
+  for _ = 1 to 300 do
+    let x = sample_box rng2 box in
+    if not (B.contains meet (Net.eval net x)) then ok := false
+  done;
+  check "meet sound" true !ok;
+  List.iter
+    (fun d ->
+      check "meet within each domain" true
+        (B.subset meet (T.propagate d net box)))
+    [ T.Interval; T.Symbolic; T.Affine ]
+
+let test_output_bounds_shape () =
+  let net = fig4_network () in
+  let box = B.of_bounds [| (0.0, 1.0); (0.0, 1.0) |] in
+  let obs = Sym.output_bounds net box in
+  Alcotest.(check int) "one output" 1 (Array.length obs);
+  let lo_c, _, up_c, _ = obs.(0) in
+  Alcotest.(check int) "lo coeffs per input" 2 (Array.length lo_c);
+  Alcotest.(check int) "up coeffs per input" 2 (Array.length up_c)
+
+(* qcheck: random networks, random boxes, random samples, all domains *)
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (seed, w, sizes) ->
+      Printf.sprintf "seed=%d width=%g sizes=%s" seed w
+        (String.concat "-" (List.map string_of_int sizes)))
+    QCheck.Gen.(
+      let* seed = int_range 0 100000 in
+      let* w = float_range 0.05 2.0 in
+      let* h1 = int_range 2 12 in
+      let* h2 = int_range 2 12 in
+      let* ins = int_range 1 4 in
+      let* outs = int_range 1 4 in
+      return (seed, w, [ ins; h1; h2; outs ]))
+
+let prop_domain_sound domain =
+  QCheck.Test.make ~count:60
+    ~name:(Printf.sprintf "%s propagate sound" (T.domain_to_string domain))
+    arb_case
+    (fun (seed, w, sizes) ->
+      let rng = Rng.create seed in
+      let net = random_net rng sizes in
+      let ins = List.hd sizes in
+      let box =
+        B.of_bounds
+          (Array.init ins (fun i ->
+               let c = 0.3 *. float_of_int i in
+               (c -. w, c +. w)))
+      in
+      soundness_case domain net box rng 100)
+
+
+(* ----- local robustness (the Section 2 NN-level property) ----- *)
+
+module Rob = Nncs_nnabs.Robustness
+
+(* a hand-built 2-class network: scores (x, 1 - x); argmin flips at
+   x = 0.5, so robustness around a point depends on its distance to 0.5 *)
+let two_class_network () =
+  let out =
+    {
+      Net.weights = Mat.init 2 1 (fun i _ -> [| 1.0; -1.0 |].(i));
+      biases = [| 0.0; 1.0 |];
+      activation = Act.Linear;
+    }
+  in
+  Net.make ~input_dim:1 [| out |]
+
+let test_robustness_verdicts () =
+  let net = two_class_network () in
+  (* far from the boundary: robust for small epsilon *)
+  (match Rob.check ~decision:Rob.Argmin net ~input:[| 0.1 |] ~epsilon:0.2 with
+  | Rob.Robust -> ()
+  | _ -> Alcotest.fail "expected robust");
+  (* ball straddling the boundary: a corner gives a counterexample *)
+  (match Rob.check ~decision:Rob.Argmin net ~input:[| 0.45 |] ~epsilon:0.2 with
+  | Rob.Counterexample c ->
+      check "counterexample flips the decision" true
+        (Rob.classify Rob.Argmin (Net.eval net c)
+        <> Rob.classify Rob.Argmin (Net.eval net [| 0.45 |]))
+  | _ -> Alcotest.fail "expected counterexample");
+  (* argmax on the same network mirrors the argmin verdicts *)
+  match Rob.check ~decision:Rob.Argmax net ~input:[| 0.9 |] ~epsilon:0.1 with
+  | Rob.Robust -> ()
+  | _ -> Alcotest.fail "expected argmax robust"
+
+let test_robustness_random_net_sound () =
+  (* whenever check says Robust, dense sampling must agree *)
+  let rng = Rng.create 71 in
+  let net = random_net rng [ 2; 10; 10; 3 ] in
+  let agree = ref 0 in
+  for _ = 1 to 20 do
+    let input = [| Rng.uniform rng (-1.0) 1.0; Rng.uniform rng (-1.0) 1.0 |] in
+    let eps = Rng.uniform rng 0.01 0.2 in
+    match Rob.check ~decision:Rob.Argmin net ~input ~epsilon:eps with
+    | Rob.Robust ->
+        incr agree;
+        let label = Rob.classify Rob.Argmin (Net.eval net input) in
+        for _ = 1 to 100 do
+          let p =
+            Array.map (fun v -> v +. Rng.uniform rng (-.eps) eps) input
+          in
+          check "sampled point keeps the label" true
+            (Rob.classify Rob.Argmin (Net.eval net p) = label)
+        done
+    | Rob.Counterexample c ->
+        let label = Rob.classify Rob.Argmin (Net.eval net input) in
+        check "counterexample is real" true
+          (Rob.classify Rob.Argmin (Net.eval net c) <> label)
+    | Rob.Unknown -> ()
+  done;
+  check "some balls proved robust" true (!agree > 0)
+
+let () =
+  Alcotest.run "nnabs"
+    [
+      ( "transformers",
+        [
+          Alcotest.test_case "fig4 point" `Quick test_fig4_point;
+          Alcotest.test_case "fig4 box" `Quick test_fig4_box;
+          Alcotest.test_case "symbolic tighter" `Quick
+            test_symbolic_tighter_than_interval;
+          Alcotest.test_case "stable relu exact" `Quick
+            test_stable_relu_exact_symbolic;
+          Alcotest.test_case "split refinement" `Quick
+            test_split_refinement_tightens;
+          Alcotest.test_case "meet of domains" `Quick
+            test_meet_all_sound_and_tighter;
+          Alcotest.test_case "output bounds shape" `Quick
+            test_output_bounds_shape;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "verdicts" `Quick test_robustness_verdicts;
+          Alcotest.test_case "sound on random nets" `Quick
+            test_robustness_random_net_sound;
+        ] );
+      ( "nnabs-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_domain_sound T.Interval;
+            prop_domain_sound T.Symbolic;
+            prop_domain_sound T.Affine;
+          ] );
+    ]

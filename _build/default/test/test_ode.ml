@@ -1,0 +1,371 @@
+(* Validated integration: enclosures must contain the true flow (known
+   analytically for decay/oscillator, sampled by high-accuracy RK4 for
+   nonlinear systems), and tighten as the order/number of steps grows. *)
+
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module E = Nncs_ode.Expr
+module Ode = Nncs_ode.Ode
+module Onestep = Nncs_ode.Onestep
+module Simulate = Nncs_ode.Simulate
+module Apriori = Nncs_ode.Apriori
+
+let check = Alcotest.(check bool)
+let no_inputs = B.of_point [| 0.0 |]
+
+(* s' = -s, solution s0 * exp(-t) *)
+let decay = Ode.make ~dim:1 ~input_dim:1 [| E.(neg (state 0)) |]
+
+(* harmonic oscillator: x' = y, y' = -x; solution rotates on a circle *)
+let oscillator =
+  Ode.make ~dim:2 ~input_dim:1 [| E.(state 1); E.(neg (state 0)) |]
+
+(* controlled integrator: x' = u *)
+let integrator = Ode.make ~dim:1 ~input_dim:1 [| E.(input 0) |]
+
+(* Van der Pol: nonlinear, classic validated-integration stress test *)
+let vanderpol =
+  Ode.make ~dim:2 ~input_dim:1
+    [|
+      E.(state 1);
+      E.((const 1.0 - sqr (state 0)) * state 1 - state 0);
+    |]
+
+let test_expr_eval () =
+  let e = E.(sin (state 0) + (const 2.0 * input 0) - time) in
+  let v = E.eval e ~time:1.0 ~state:[| 0.5 |] ~inputs:[| 3.0 |] in
+  Alcotest.(check (float 1e-12)) "concrete eval" (Float.sin 0.5 +. 6.0 -. 1.0) v;
+  let iv =
+    E.eval_interval e ~time:(I.of_float 1.0)
+      ~state:(B.of_bounds [| (0.4, 0.6) |])
+      ~inputs:(B.of_point [| 3.0 |])
+  in
+  check "interval eval contains concrete" true (I.contains iv v)
+
+let test_expr_validation () =
+  Alcotest.check_raises "bad state index"
+    (Invalid_argument "Ode.make: state index out of range") (fun () ->
+      ignore (Ode.make ~dim:1 ~input_dim:1 [| E.state 3 |]))
+
+let test_rk4_decay () =
+  let s = Ode.rk4_flow decay ~time:0.0 ~state:[| 1.0 |] ~inputs:[| 0.0 |] ~duration:1.0 ~steps:100 in
+  check "rk4 close to exp(-1)" true (Float.abs (s.(0) -. Float.exp (-1.0)) < 1e-8)
+
+let test_apriori_contains_flow () =
+  let state = B.of_bounds [| (0.9, 1.1) |] in
+  let b = Apriori.enclosure decay ~t1:0.0 ~h:0.2 ~state ~inputs:no_inputs in
+  (* true flow from any s0 in [0.9,1.1] stays within [0.9*e^-0.2, 1.1] *)
+  List.iter
+    (fun s0 ->
+      List.iter
+        (fun t ->
+          let v = s0 *. Float.exp (-.t) in
+          check "apriori contains sample" true (I.contains (B.get b 0) v))
+        [ 0.0; 0.05; 0.1; 0.15; 0.2 ])
+    [ 0.9; 1.0; 1.1 ]
+
+let test_onestep_decay () =
+  let state = B.of_bounds [| (1.0, 1.0) |] in
+  let r = Onestep.step decay ~order:6 ~t1:0.0 ~h:0.1 ~state ~inputs:no_inputs in
+  let exact = Float.exp (-0.1) in
+  check "endpoint contains exact" true (I.contains (B.get r.endpoint 0) exact);
+  check "endpoint tight" true (I.width (B.get r.endpoint 0) < 1e-9);
+  check "range contains initial" true (I.contains (B.get r.range 0) 1.0);
+  check "range contains endpoint" true (I.contains (B.get r.range 0) exact)
+
+let test_onestep_oscillator () =
+  let state = B.of_point [| 1.0; 0.0 |] in
+  let r =
+    Onestep.step oscillator ~order:8 ~t1:0.0 ~h:0.1 ~state ~inputs:no_inputs
+  in
+  check "x endpoint" true (I.contains (B.get r.endpoint 0) (Float.cos 0.1));
+  check "y endpoint" true (I.contains (B.get r.endpoint 1) (-.Float.sin 0.1));
+  check "tight" true (I.width (B.get r.endpoint 0) < 1e-10)
+
+let test_simulate_oscillator_full_turn () =
+  (* quarter turn in 10 steps: endpoint near (0, -1) *)
+  let state = B.of_bounds [| (0.99, 1.01); (-0.01, 0.01) |] in
+  let r =
+    Simulate.simulate oscillator ~t0:0.0 ~period:(Float.pi /. 2.0) ~steps:20
+      ~order:8 ~state ~inputs:no_inputs
+  in
+  (* each true trajectory: (cos t * x0 + sin t * y0, -sin t * x0 + cos t * y0) *)
+  List.iter
+    (fun (x0, y0) ->
+      let t = Float.pi /. 2.0 in
+      let xf = (Float.cos t *. x0) +. (Float.sin t *. y0) in
+      let yf = (-.Float.sin t *. x0) +. (Float.cos t *. y0) in
+      check "endpoint contains flow" true
+        (I.contains (B.get r.endpoint 0) xf && I.contains (B.get r.endpoint 1) yf))
+    [ (0.99, -0.01); (1.01, 0.01); (1.0, 0.0) ];
+  (* wrapping stays moderate: initial width 0.02 should not balloon *)
+  check "width controlled" true (I.width (B.get r.endpoint 0) < 0.1)
+
+let test_simulate_integrator_command () =
+  (* x' = u with u = 2: from [0,0.1] reach [0.2, 0.3] after 0.1s *)
+  let state = B.of_bounds [| (0.0, 0.1) |] in
+  let r =
+    Simulate.simulate integrator ~t0:0.0 ~period:0.1 ~steps:4 ~order:3 ~state
+      ~inputs:(B.of_point [| 2.0 |])
+  in
+  check "endpoint lo" true (Float.abs (I.lo (B.get r.endpoint 0) -. 0.2) < 1e-9);
+  check "endpoint hi" true (Float.abs (I.hi (B.get r.endpoint 0) -. 0.3) < 1e-9);
+  check "range spans whole motion" true
+    (I.contains (B.get r.range 0) 0.0 && I.contains (B.get r.range 0) 0.3)
+
+let test_more_steps_tighter () =
+  let state = B.of_bounds [| (0.9, 1.1); (-0.1, 0.1) |] in
+  let width_with steps =
+    let r =
+      Simulate.simulate vanderpol ~t0:0.0 ~period:0.5 ~steps ~order:6 ~state
+        ~inputs:no_inputs
+    in
+    B.max_width r.range
+  in
+  let w1 = width_with 1 and w10 = width_with 10 in
+  check "M=10 tighter than M=1 (Fig 7)" true (w10 < w1)
+
+let test_vanderpol_contains_rk4 () =
+  let state = B.of_bounds [| (1.2, 1.3); (0.0, 0.1) |] in
+  let r =
+    Simulate.simulate vanderpol ~t0:0.0 ~period:0.5 ~steps:10 ~order:6 ~state
+      ~inputs:no_inputs
+  in
+  (* sample 9 initial conditions, integrate accurately, check containment *)
+  List.iter
+    (fun x0 ->
+      List.iter
+        (fun y0 ->
+          let s =
+            Ode.rk4_flow vanderpol ~time:0.0 ~state:[| x0; y0 |]
+              ~inputs:[| 0.0 |] ~duration:0.5 ~steps:2000
+          in
+          check "endpoint contains rk4 sample" true (B.contains r.endpoint s))
+        [ 0.0; 0.05; 0.1 ])
+    [ 1.2; 1.25; 1.3 ]
+
+(* qcheck: random linear 2x2 systems — endpoint encloses matrix-exponential
+   flow sampled by fine RK4 *)
+
+let arb_linear_case =
+  QCheck.make
+    ~print:(fun (a, b, c, d, x0, y0) ->
+      Printf.sprintf "A=[[%g;%g];[%g;%g]] x0=(%g,%g)" a b c d x0 y0)
+    QCheck.Gen.(
+      let* a = float_range (-2.0) 2.0 in
+      let* b = float_range (-2.0) 2.0 in
+      let* c = float_range (-2.0) 2.0 in
+      let* d = float_range (-2.0) 2.0 in
+      let* x0 = float_range (-1.0) 1.0 in
+      let* y0 = float_range (-1.0) 1.0 in
+      return (a, b, c, d, x0, y0))
+
+let prop_linear_sound =
+  QCheck.Test.make ~count:100 ~name:"linear system endpoint sound"
+    arb_linear_case (fun (a, b, c, d, x0, y0) ->
+      let sys =
+        Ode.make ~dim:2 ~input_dim:1
+          E.
+            [|
+              scale a (state 0) + scale b (state 1);
+              scale c (state 0) + scale d (state 1);
+            |]
+      in
+      let state = B.of_point [| x0; y0 |] in
+      let r =
+        Simulate.simulate sys ~t0:0.0 ~period:0.2 ~steps:4 ~order:6 ~state
+          ~inputs:no_inputs
+      in
+      let s =
+        Ode.rk4_flow sys ~time:0.0 ~state:[| x0; y0 |] ~inputs:[| 0.0 |]
+          ~duration:0.2 ~steps:1000
+      in
+      (* rk4 is not exact: allow its own tiny error when checking *)
+      let slack = 1e-7 in
+      let within i v =
+        I.lo (B.get r.endpoint i) -. slack <= v
+        && v <= I.hi (B.get r.endpoint i) +. slack
+      in
+      within 0 s.(0) && within 1 s.(1))
+
+let main_tests =
+  [
+      ( "expr",
+        [
+          Alcotest.test_case "evaluation" `Quick test_expr_eval;
+          Alcotest.test_case "validation" `Quick test_expr_validation;
+        ] );
+      ( "concrete",
+        [ Alcotest.test_case "rk4 decay" `Quick test_rk4_decay ] );
+      ( "validated",
+        [
+          Alcotest.test_case "apriori contains flow" `Quick
+            test_apriori_contains_flow;
+          Alcotest.test_case "onestep decay" `Quick test_onestep_decay;
+          Alcotest.test_case "onestep oscillator" `Quick
+            test_onestep_oscillator;
+          Alcotest.test_case "simulate quarter turn" `Quick
+            test_simulate_oscillator_full_turn;
+          Alcotest.test_case "simulate with command" `Quick
+            test_simulate_integrator_command;
+          Alcotest.test_case "more steps tighter (Fig 7)" `Quick
+            test_more_steps_tighter;
+          Alcotest.test_case "van der pol contains rk4" `Quick
+            test_vanderpol_contains_rk4;
+        ] );
+      ( "ode-properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_linear_sound ] );
+    ]
+
+(* ----- appended: symbolic differentiation, QR, interval matrices and
+   the Loehner mean-value integrator ----- *)
+
+module Mat = Nncs_linalg.Mat
+module Qr = Nncs_linalg.Qr
+module IM = Nncs_interval.Interval_matrix
+module Lohner = Nncs_ode.Lohner
+module Rng = Nncs_linalg.Rng
+
+let arb_small_state =
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "(%g, %g)" a b)
+    QCheck.Gen.(
+      let* a = float_range (-2.0) 2.0 in
+      let* b = float_range (-2.0) 2.0 in
+      return (a, b))
+
+(* an expression exercising every constructor with a well-defined
+   derivative on the sampled domain *)
+let diff_test_expr =
+  E.(
+    sin (state 0)
+    + (cos (state 1) * state 0)
+    - exp (scale 0.3 (state 1))
+    + sqrt (const 4.0 + sqr (state 0))
+    + atan (state 1)
+    + pow (state 0) 3
+    + (state 0 / (const 3.0 + sqr (state 1))))
+
+let prop_diff_matches_finite_difference =
+  QCheck.Test.make ~count:300 ~name:"symbolic diff matches finite differences"
+    arb_small_state (fun (a, b) ->
+      let eval e s0 s1 =
+        E.eval e ~time:0.0 ~state:[| s0; s1 |] ~inputs:[| 0.0 |]
+      in
+      let eps = 1e-6 in
+      let ok dim =
+        let d = E.diff diff_test_expr dim in
+        let sym = eval d a b in
+        let fd =
+          if dim = 0 then (eval diff_test_expr (a +. eps) b -. eval diff_test_expr (a -. eps) b) /. (2.0 *. eps)
+          else (eval diff_test_expr a (b +. eps) -. eval diff_test_expr a (b -. eps)) /. (2.0 *. eps)
+        in
+        Float.abs (sym -. fd) < 1e-4 *. (1.0 +. Float.abs sym)
+      in
+      ok 0 && ok 1)
+
+let test_qr_orthogonal () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 4 in
+    let a = Mat.init n n (fun _ _ -> Rng.gaussian rng) in
+    let q, r = Qr.decompose a in
+    (* q * r = a *)
+    let qr = Mat.mul q r in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        check "qr reconstructs" true (Float.abs (Mat.get qr i j -. Mat.get a i j) < 1e-9);
+        (* r upper triangular *)
+        if i > j then check "r triangular" true (Float.abs (Mat.get r i j) < 1e-9)
+      done
+    done;
+    (* q orthogonal *)
+    let qtq = Mat.mul (Mat.transpose q) q in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let expected = if i = j then 1.0 else 0.0 in
+        check "q orthogonal" true (Float.abs (Mat.get qtq i j -. expected) < 1e-9)
+      done
+    done
+  done
+
+let test_interval_matrix_ops () =
+  let a = IM.of_floats [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = IM.of_floats [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let c = IM.mul a b in
+  check "product entry" true (I.contains (IM.get c 0 0) 2.0);
+  check "product entry'" true (I.contains (IM.get c 1 1) 3.0);
+  let v = IM.mul_vec a [| I.make 0.0 1.0; I.of_float 1.0 |] in
+  (* row 1: [1,2]*... = [0,1]*1 + 2 = [2,3] *)
+  check "mat-vec" true (I.lo v.(0) <= 2.0 +. 1e-12 && I.hi v.(0) >= 3.0 -. 1e-12);
+  check "contains member" true (IM.contains a [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |])
+
+let test_lohner_beats_direct_on_rotation () =
+  let state = B.of_bounds [| (0.9, 1.1); (-0.1, 0.1) |] in
+  let run scheme =
+    Simulate.simulate ~scheme oscillator ~t0:0.0 ~period:(4.0 *. Float.pi)
+      ~steps:100 ~order:8 ~state ~inputs:no_inputs
+  in
+  let direct = run Simulate.Direct and lohner = run Simulate.Lohner in
+  (* after two full turns the set returns to itself: width 0.2 exactly *)
+  check "lohner near optimal" true (B.max_width lohner.Simulate.endpoint < 0.21);
+  check "direct wraps badly" true
+    (B.max_width direct.Simulate.endpoint > 10.0 *. B.max_width lohner.Simulate.endpoint);
+  (* soundness of the lohner endpoint: rotated corners inside *)
+  let t = 4.0 *. Float.pi in
+  List.iter
+    (fun (x0, y0) ->
+      let xf = (Float.cos t *. x0) +. (Float.sin t *. y0) in
+      let yf = (-.Float.sin t *. x0) +. (Float.cos t *. y0) in
+      check "lohner endpoint sound" true (B.contains lohner.Simulate.endpoint [| xf; yf |]))
+    [ (0.9, -0.1); (0.9, 0.1); (1.1, -0.1); (1.1, 0.1); (1.0, 0.0) ]
+
+let test_lohner_sound_nonlinear () =
+  (* van der pol again, but through the lohner scheme *)
+  let state = B.of_bounds [| (1.2, 1.3); (0.0, 0.1) |] in
+  let r =
+    Simulate.simulate ~scheme:Simulate.Lohner vanderpol ~t0:0.0 ~period:0.5
+      ~steps:10 ~order:6 ~state ~inputs:no_inputs
+  in
+  List.iter
+    (fun x0 ->
+      List.iter
+        (fun y0 ->
+          let s =
+            Ode.rk4_flow vanderpol ~time:0.0 ~state:[| x0; y0 |]
+              ~inputs:[| 0.0 |] ~duration:0.5 ~steps:2000
+          in
+          check "lohner endpoint contains rk4 sample" true (B.contains r.Simulate.endpoint s))
+        [ 0.0; 0.05; 0.1 ])
+    [ 1.2; 1.25; 1.3 ]
+
+let test_jacobian_enclosure_linear () =
+  (* for z' = A z the flow jacobian is exp(A h), independent of z *)
+  let sys = Ode.make ~dim:2 ~input_dim:1 E.[| state 1; neg (state 0) |] in
+  let j =
+    Lohner.jacobian_enclosure sys ~order:8 ~t1:0.0 ~h:0.3
+      ~inputs:no_inputs
+      (B.of_bounds [| (-1.0, 1.0); (-1.0, 1.0) |])
+  in
+  (* exp of the rotation generator: [[cos h, sin h], [-sin h, cos h]] *)
+  let h = 0.3 in
+  check "J contains rotation matrix" true
+    (IM.contains j
+       [| [| Float.cos h; Float.sin h |]; [| -.Float.sin h; Float.cos h |] |]);
+  check "J tight" true (IM.width j < 1e-6)
+
+let additional_tests =
+  [
+    ( "lohner",
+      [
+        Alcotest.test_case "qr orthogonal" `Quick test_qr_orthogonal;
+        Alcotest.test_case "interval matrices" `Quick test_interval_matrix_ops;
+        Alcotest.test_case "beats direct on rotation" `Quick
+          test_lohner_beats_direct_on_rotation;
+        Alcotest.test_case "sound on van der pol" `Quick test_lohner_sound_nonlinear;
+        Alcotest.test_case "jacobian enclosure" `Quick test_jacobian_enclosure_linear;
+        QCheck_alcotest.to_alcotest prop_diff_matches_finite_difference;
+      ] );
+  ]
+
+let () = Alcotest.run "ode" (main_tests @ additional_tests)
