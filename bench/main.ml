@@ -562,8 +562,41 @@ let bechamel_suite () =
           Printf.printf "%-28s %16s\n%!" (Test.Elt.name elt) "(no estimate)")
     tests
 
+(* --summary=FILE: machine-readable per-experiment wall times plus the
+   Nncs_obs metrics accumulated over the whole run — the baseline
+   artifact future perf PRs diff against. *)
+let write_summary path timings =
+  let module J = Nncs_obs.Json in
+  let json =
+    J.Obj
+      [
+        ( "experiments",
+          J.Obj (List.map (fun (name, dt) -> (name, J.Num dt)) timings) );
+        ("metrics", Nncs_obs.Metrics.snapshot_json ());
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "summary written to %s\n" path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let summary_prefix = "--summary=" in
+  let summary =
+    List.find_map
+      (fun a ->
+        if String.length a > String.length summary_prefix
+           && String.sub a 0 (String.length summary_prefix) = summary_prefix
+        then
+          Some
+            (String.sub a (String.length summary_prefix)
+               (String.length a - String.length summary_prefix))
+        else None)
+      args
+  in
+  let args = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
   let all =
     [ ("e1", e1); ("e1b", e1b); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11) ]
@@ -571,6 +604,17 @@ let () =
   let want name = args = [] || List.mem name args in
   if List.mem "timing" args then bechamel_suite ()
   else begin
-    List.iter (fun (name, f) -> if want name then f ()) all;
+    let timings =
+      List.filter_map
+        (fun (name, f) ->
+          if want name then begin
+            let t0 = now () in
+            f ();
+            Some (name, now () -. t0)
+          end
+          else None)
+        all
+    in
+    Option.iter (fun path -> write_summary path timings) summary;
     Printf.printf "\nbench: done\n"
   end

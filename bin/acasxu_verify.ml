@@ -9,7 +9,7 @@ module Verify = Nncs.Verify
 module Reach = Nncs.Reach
 
 let run dir arcs headings arc_sel gamma msteps order domain nn_splits
-    max_depth workers csv quiet =
+    max_depth workers csv trace quiet =
   let _, networks = T.load_or_train ~dir () in
   let domain = Nncs_nnabs.Transformer.domain_of_string domain in
   let sys = S.system ~networks ~domain ~nn_splits () in
@@ -38,7 +38,18 @@ let run dir arcs headings arc_sel gamma msteps order domain nn_splits
         (fun d t ->
           if d mod 25 = 0 || d = t then Printf.eprintf "\r%d/%d cells...%!" d t)
   in
+  (* start the trace epoch after network loading/training so the wall
+     clock of the dump covers exactly the verification run *)
+  if trace <> None then Nncs_obs.Trace.enable ();
   let report = Verify.verify_partition ~config ?progress sys states in
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Nncs_obs.Trace.disable ();
+      Nncs_obs.Trace.write_file ~extra:(Nncs_obs.Metrics.jsonl_lines ()) path;
+      if not quiet then
+        Printf.eprintf "trace written to %s (dune exec bin/trace_report.exe -- %s)\n%!"
+          path path);
   if not quiet then Printf.eprintf "\n%!";
   (* aggregate per arc *)
   let arcs_seen = List.sort_uniq compare (List.map fst cells) in
@@ -95,6 +106,14 @@ let nn_splits = Arg.(value & opt int 0 & info [ "nn-splits" ] ~doc:"Input bisect
 let max_depth = Arg.(value & opt int 2 & info [ "max-depth" ] ~doc:"Split-refinement depth.")
 let workers = Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Parallel domains.")
 let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write per-cell results to CSV.")
+
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:"Record a JSONL span/metrics trace of the run (read it with trace_report).")
+
 let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output.")
 
 let cmd =
@@ -102,6 +121,6 @@ let cmd =
     (Cmd.info "acasxu_verify" ~doc:"Verify the ACAS Xu closed loop by reachability")
     Term.(
       const run $ dir $ arcs $ headings $ arc_sel $ gamma $ msteps $ order
-      $ domain $ nn_splits $ max_depth $ workers $ csv $ quiet)
+      $ domain $ nn_splits $ max_depth $ workers $ csv $ trace $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,179 @@
+(* Reads a JSONL trace produced by `acasxu_verify --trace` (or any
+   Nncs_obs.Trace dump) and prints a phase-level time breakdown and a
+   per-worker utilization table.  Phase time is *self* time (a span's
+   duration minus its direct children), so the breakdown partitions the
+   traced wall time instead of double-counting nested phases. *)
+
+module Json = Nncs_obs.Json
+module Trace = Nncs_obs.Trace
+
+type parsed = {
+  spans : Trace.event list;
+  counters : (string * int) list;
+  hists : (string * (int * float * float * float)) list;
+  wall : float option;  (* from the meta line *)
+}
+
+let parse_file path =
+  let ic = open_in path in
+  let spans = ref [] and counters = ref [] and hists = ref [] in
+  let wall = ref None in
+  let lineno = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          Stdlib.incr lineno;
+          if String.trim line <> "" then begin
+            let located f =
+              try f ()
+              with Json.Parse_error msg ->
+                failwith (Printf.sprintf "%s:%d: %s" path !lineno msg)
+            in
+            let j = located (fun () -> Json.of_string line) in
+            match Json.member "t" j with
+            | Some (Json.Str "span") ->
+                spans := located (fun () -> Trace.event_of_json j) :: !spans
+            | Some (Json.Str "counter") ->
+                let name = Json.to_str (Option.get (Json.member "name" j)) in
+                let v = Json.to_int (Option.get (Json.member "value" j)) in
+                counters := (name, v) :: !counters
+            | Some (Json.Str "hist") ->
+                let get k = Option.get (Json.member k j) in
+                hists :=
+                  ( Json.to_str (get "name"),
+                    ( Json.to_int (get "count"),
+                      Json.to_float (get "sum"),
+                      Json.to_float (get "min"),
+                      Json.to_float (get "max") ) )
+                  :: !hists
+            | Some (Json.Str "meta") ->
+                wall := Option.map Json.to_float (Json.member "wall_end" j)
+            | _ -> ()
+          end
+        done;
+        assert false
+      with End_of_file ->
+        {
+          spans = List.rev !spans;
+          counters = List.rev !counters;
+          hists = List.rev !hists;
+          wall = !wall;
+        })
+
+let wall_clock p =
+  match p.wall with
+  | Some w when w > 0.0 -> w
+  | _ ->
+      (* fall back to the span envelope *)
+      List.fold_left
+        (fun acc (e : Trace.event) -> Float.max acc (e.Trace.ts +. e.Trace.dur))
+        0.0 p.spans
+
+(* aggregate [(key, count, dur_total, self_total)] sorted by self desc *)
+let aggregate key spans =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Trace.event) ->
+      let k = key e in
+      let count, dur, self =
+        Option.value (Hashtbl.find_opt tbl k) ~default:(0, 0.0, 0.0)
+      in
+      Hashtbl.replace tbl k (count + 1, dur +. e.Trace.dur, self +. e.Trace.self))
+    spans;
+  Hashtbl.fold (fun k (c, d, s) acc -> (k, c, d, s) :: acc) tbl []
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+
+let print_phase_table p wall =
+  Printf.printf "== phase breakdown (self time) ==\n";
+  Printf.printf "%-18s %10s %12s %12s %9s %12s\n" "phase" "count" "total(s)"
+    "self(s)" "% wall" "mean(ms)";
+  let rows = aggregate (fun e -> e.Trace.name) p.spans in
+  List.iter
+    (fun (name, count, dur, self) ->
+      Printf.printf "%-18s %10d %12.3f %12.3f %9.1f %12.3f\n" name count dur
+        self
+        (if wall > 0.0 then 100.0 *. self /. wall else 0.0)
+        (1000.0 *. dur /. float_of_int count))
+    rows;
+  let traced = List.fold_left (fun a (_, _, _, s) -> a +. s) 0.0 rows in
+  Printf.printf "%-18s %10d %12s %12.3f %9.1f\n" "(total)"
+    (List.length p.spans) "" traced
+    (if wall > 0.0 then 100.0 *. traced /. wall else 0.0);
+  traced
+
+let print_worker_table p wall =
+  Printf.printf "\n== per-worker utilization ==\n";
+  Printf.printf "%-8s %10s %12s %9s\n" "domain" "spans" "busy(s)" "util%";
+  let rows = aggregate (fun e -> string_of_int e.Trace.dom) p.spans in
+  List.iter
+    (fun (dom, count, _, self) ->
+      Printf.printf "%-8s %10d %12.3f %9.1f\n" dom count self
+        (if wall > 0.0 then 100.0 *. self /. wall else 0.0))
+    (List.sort (fun (a, _, _, _) (b, _, _, _) -> compare (int_of_string a) (int_of_string b)) rows);
+  List.length rows
+
+let print_metrics p =
+  if p.counters <> [] then begin
+    Printf.printf "\n== counters ==\n";
+    List.iter
+      (fun (name, v) -> Printf.printf "%-28s %12d\n" name v)
+      (List.sort compare p.counters)
+  end;
+  if p.hists <> [] then begin
+    Printf.printf "\n== histograms ==\n";
+    Printf.printf "%-28s %10s %12s %10s %10s %10s\n" "name" "count" "sum" "min"
+      "max" "mean";
+    List.iter
+      (fun (name, (count, sum, min_, max_)) ->
+        Printf.printf "%-28s %10d %12.1f %10.1f %10.1f %10.2f\n" name count sum
+          min_ max_
+          (if count > 0 then sum /. float_of_int count else 0.0))
+      (List.sort compare p.hists)
+  end
+
+let run path =
+  match parse_file path with
+  | exception Failure msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+  | p ->
+  if p.spans = [] && p.counters = [] && p.hists = [] then begin
+    Printf.eprintf "%s: no trace events\n" path;
+    1
+  end
+  else begin
+    let wall = wall_clock p in
+    Printf.printf "trace: %s\n" path;
+    Printf.printf "wall clock: %.3f s, %d span events\n\n" wall
+      (List.length p.spans);
+    let traced = print_phase_table p wall in
+    let workers = print_worker_table p wall in
+    if workers > 0 && wall > 0.0 then
+      Printf.printf "(%d domain%s; aggregate busy %.3f s = %.1f%% of %d x wall)\n"
+        workers
+        (if workers = 1 then "" else "s")
+        traced
+        (100.0 *. traced /. (float_of_int workers *. wall))
+        workers;
+    print_metrics p;
+    0
+  end
+
+open Cmdliner
+
+let trace_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE.jsonl" ~doc:"JSONL trace to analyze.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "trace_report"
+       ~doc:"Phase-level time breakdown and per-worker utilization of a JSONL trace")
+    Term.(const run $ trace_file)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,4 +1,11 @@
 module B = Nncs_interval.Box
+module Span = Nncs_obs.Span
+module Metrics = Nncs_obs.Metrics
+
+(* observability instruments (process-wide, see DESIGN.md "Observability") *)
+let m_steps = Metrics.counter "reach.steps"
+let m_joins = Metrics.counter "reach.joins"
+let h_states_after_resize = Metrics.histogram "reach.states_after_resize"
 
 type config = {
   integration_steps : int;
@@ -65,9 +72,16 @@ let analyze ?(config = default_config) sys r0 =
   (* one control step: from R_j build (R_[j[, R_(j+1)) *)
   let control_step j rj =
     let before = Symset.length rj in
-    let rj = Resize.resize ~num_commands ~gamma:config.gamma rj in
+    let rj =
+      Span.with_ "reach.resize"
+        ~attrs:[ ("step", Nncs_obs.Trace.Int j); ("states", Int before) ]
+        (fun () -> Resize.resize ~num_commands ~gamma:config.gamma rj)
+    in
     let after = Symset.length rj in
     total_joins := !total_joins + (before - after);
+    Metrics.incr m_steps;
+    Metrics.add m_joins (before - after);
+    Metrics.observe h_states_after_resize (float_of_int after);
     let active =
       Symset.filter (fun st -> not (sys.System.target.Spec.contains_box st)) rj
     in
@@ -76,10 +90,14 @@ let analyze ?(config = default_config) sys r0 =
       (fun st ->
         let u_box = Command.value_box ctrl.Controller.commands st.Symstate.cmd in
         let sim =
-          Nncs_ode.Simulate.simulate ~scheme:config.scheme plant
-            ~t0:(float_of_int j *. period)
-            ~period ~steps:config.integration_steps ~order:config.taylor_order
-            ~state:st.Symstate.box ~inputs:u_box
+          Span.with_ "reach.simulate"
+            ~attrs:[ ("step", Nncs_obs.Trace.Int j) ]
+            (fun () ->
+              Nncs_ode.Simulate.simulate ~scheme:config.scheme plant
+                ~t0:(float_of_int j *. period)
+                ~period ~steps:config.integration_steps
+                ~order:config.taylor_order ~state:st.Symstate.box
+                ~inputs:u_box)
         in
         (* R_[j[ : every sub-step enclosure, carrying the current command *)
         Array.iter
@@ -90,8 +108,11 @@ let analyze ?(config = default_config) sys r0 =
           sim.Nncs_ode.Simulate.pieces;
         (* R_(j+1) : endpoint box paired with each reachable command *)
         let cmds =
-          Controller.abstract_step ctrl ~box:st.Symstate.box
-            ~prev_cmd:st.Symstate.cmd
+          Span.with_ "reach.abstract"
+            ~attrs:[ ("step", Nncs_obs.Trace.Int j) ]
+            (fun () ->
+              Controller.abstract_step ctrl ~box:st.Symstate.box
+                ~prev_cmd:st.Symstate.cmd)
         in
         List.iter
           (fun c ->
@@ -129,13 +150,22 @@ let analyze ?(config = default_config) sys r0 =
     }
   in
   let rec loop j rj =
-    if Symset.for_all (fun st -> sys.System.target.Spec.contains_box st) rj
+    if
+      Span.with_ "reach.check"
+        ~attrs:[ ("step", Nncs_obs.Trace.Int j) ]
+        (fun () ->
+          Symset.for_all (fun st -> sys.System.target.Spec.contains_box st) rj)
     then
       (* no more symbolic states to propagate: C terminated *)
       finish Proved_safe (Some j)
     else if j >= q then finish Horizon_exhausted None
     else begin
-      let after, before, flow, next = control_step j rj in
+      let after, before, flow, next =
+        Span.with_ "reach.step"
+          ~attrs:
+            [ ("step", Nncs_obs.Trace.Int j); ("states", Int (Symset.length rj)) ]
+          (fun () -> control_step j rj)
+      in
       record j before after flow next;
       loop (j + 1) next
     end

@@ -1,3 +1,10 @@
+module Span = Nncs_obs.Span
+module Metrics = Nncs_obs.Metrics
+
+let m_cells = Metrics.counter "verify.cells"
+let m_leaves = Metrics.counter "verify.leaves"
+let m_proved_leaves = Metrics.counter "verify.proved_leaves"
+
 type split_strategy =
   | All_dims of int list
   | Most_influential of { candidates : int list; take : int }
@@ -77,7 +84,7 @@ let strategy_arity = function
   | Most_influential { take; candidates } ->
       max 1 (min take (List.length candidates))
 
-let verify_cell ?(config = default_config) sys cell =
+let verify_cell ?(config = default_config) ?(index = 0) sys cell =
   if config.max_depth < 0 then invalid_arg "Verify.verify_cell: negative depth";
   (match config.strategy with
   | All_dims [] | Most_influential { candidates = []; _ }
@@ -86,7 +93,13 @@ let verify_cell ?(config = default_config) sys cell =
   | All_dims _ | Most_influential _ -> ());
   let factor = float_of_int (1 lsl strategy_arity config.strategy) in
   let rec go depth st =
-    let r, dt = run_reach config sys st in
+    let r, dt =
+      Span.with_ "verify.leaf"
+        ~attrs:[ ("depth", Nncs_obs.Trace.Int depth) ]
+        (fun () -> run_reach config sys st)
+    in
+    Metrics.incr m_leaves;
+    if Reach.is_proved_safe r then Metrics.incr m_proved_leaves;
     if Reach.is_proved_safe r || depth >= config.max_depth then
       [ { state = st; depth; proved = Reach.is_proved_safe r; outcome = r.Reach.outcome; elapsed = dt } ]
     else
@@ -95,7 +108,11 @@ let verify_cell ?(config = default_config) sys cell =
         (Symstate.split st (dims_to_split config sys st))
   in
   let t0 = now () in
-  let leaves = go 0 cell in
+  let span = Span.enter ~attrs:[ ("index", Nncs_obs.Trace.Int index) ] "verify.cell" in
+  let leaves =
+    Fun.protect ~finally:(fun () -> Span.exit span) (fun () -> go 0 cell)
+  in
+  Metrics.incr m_cells;
   let proved_fraction =
     List.fold_left
       (fun acc leaf ->
@@ -103,7 +120,7 @@ let verify_cell ?(config = default_config) sys cell =
         else acc)
       0.0 leaves
   in
-  { index = 0; leaves; proved_fraction; elapsed = now () -. t0 }
+  { index; leaves; proved_fraction; elapsed = now () -. t0 }
 
 let coverage_of_cells cells =
   match cells with
@@ -124,31 +141,36 @@ let verify_partition ?(config = default_config) ?progress sys cells =
   let cells_arr = Array.of_list cells in
   let total = Array.length cells_arr in
   let results = Array.make total None in
-  let done_count = ref 0 in
+  (* a shared atomic counter so the parallel path reports each finished
+     cell live (the callback then runs on the worker's domain) *)
+  let done_count = Atomic.make 0 in
   let run_one i =
-    let r = { (verify_cell ~config sys cells_arr.(i)) with index = i } in
+    let r = verify_cell ~config ~index:i sys cells_arr.(i) in
+    let d = Atomic.fetch_and_add done_count 1 + 1 in
+    (match progress with Some f -> f d total | None -> ());
     r
   in
   if config.workers <= 1 || total <= 1 then
-    Array.iteri
-      (fun i _ ->
-        results.(i) <- Some (run_one i);
-        incr done_count;
-        match progress with Some f -> f !done_count total | None -> ())
-      cells_arr
+    Array.iteri (fun i _ -> results.(i) <- Some (run_one i)) cells_arr
   else begin
     let chunks = chunk_indices total (min config.workers total) in
     let domains =
-      List.map
-        (fun idxs ->
-          Domain.spawn (fun () -> List.map (fun i -> (i, run_one i)) idxs))
+      List.mapi
+        (fun w idxs ->
+          Domain.spawn (fun () ->
+              Span.with_ "verify.worker"
+                ~attrs:
+                  [
+                    ("worker", Nncs_obs.Trace.Int w);
+                    ("cells", Int (List.length idxs));
+                  ]
+                (fun () -> List.map (fun i -> (i, run_one i)) idxs)))
         chunks
     in
     List.iter
       (fun d ->
         List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join d))
-      domains;
-    match progress with Some f -> f total total | None -> ()
+      domains
   end;
   let cell_reports =
     Array.to_list results

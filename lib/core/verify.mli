@@ -48,15 +48,19 @@ type report = {
   total_cells : int;
 }
 
-val verify_cell : ?config:config -> System.t -> Symstate.t -> cell_report
-(** Verify one initial cell with split refinement; [index] is 0. *)
+val verify_cell :
+  ?config:config -> ?index:int -> System.t -> Symstate.t -> cell_report
+(** Verify one initial cell with split refinement; the report's [index]
+    field is [index] (default 0). *)
 
 val verify_partition :
   ?config:config -> ?progress:(int -> int -> unit) -> System.t ->
   Symstate.t list -> report
 (** Verify every cell of the partition ([progress done total] is called
     after each cell when provided).  Cells are independent; with
-    [workers > 1] they are processed by that many domains in parallel. *)
+    [workers > 1] they are processed by that many domains in parallel and
+    [progress] fires live from the worker that finished the cell — the
+    callback must therefore tolerate concurrent invocation. *)
 
 val coverage_of_cells : cell_report list -> float
 

@@ -3,6 +3,14 @@ module B = Nncs_interval.Box
 module R = Nncs_interval.Rounding
 module Mat = Nncs_linalg.Mat
 module Net = Nncs_nn.Network
+module Span = Nncs_obs.Span
+module Metrics = Nncs_obs.Metrics
+
+let m_neurons = Metrics.counter "nnabs.relu_neurons"
+
+(* unstable = straddling 0, requiring the chord relaxation (the neuron a
+   complete verifier would case-split on) *)
+let m_unstable = Metrics.counter "nnabs.unstable_neurons"
 
 (* An affine function of the network inputs, [coeffs . x + const], valid
    over the current input box up to [err >= 0]: the neuron value it
@@ -95,8 +103,9 @@ let input_bounds box =
 let chord_slope l u =
   I.div (I.of_float u) (I.sub (I.of_float u) (I.of_float l))
 
-(* ReLU relaxation of one neuron (ReluVal/Neurify rules). *)
-let relu_relax ~xmag box nb =
+(* ReLU relaxation of one neuron (ReluVal/Neurify rules); bumps
+   [unstable] when the neuron straddles 0. *)
+let relu_relax ~unstable ~xmag box nb =
   let m = Array.length nb.lo.coeffs in
   let l_lo = eval_lower box nb.lo and u_up = eval_upper box nb.up in
   if l_lo >= 0.0 then nb (* stable active *)
@@ -104,6 +113,7 @@ let relu_relax ~xmag box nb =
     let z = zero_eq m in
     { lo = z; up = z } (* stable inactive *)
   else begin
+    Stdlib.incr unstable;
     (* upper: relu(v) <= lam * (v - l) for v in [l, u], lam = u/(u-l),
        applied to the upper equation with its own concrete lower bound *)
     let up' =
@@ -170,15 +180,32 @@ let layer_bounds ~xmag box l nbs =
   in
   match l.Net.activation with
   | Nncs_nn.Activation.Linear -> out
-  | Nncs_nn.Activation.Relu -> Array.map (relu_relax ~xmag box) out
+  | Nncs_nn.Activation.Relu ->
+      (* aggregate locally, publish once per layer: the per-neuron hot
+         loop never touches the shared atomics *)
+      let unstable = ref 0 in
+      let relaxed = Array.map (relu_relax ~unstable ~xmag box) out in
+      Metrics.add m_neurons (Array.length out);
+      Metrics.add m_unstable !unstable;
+      relaxed
 
 let final_bounds net box =
   if B.dim box <> Net.input_dim net then
     invalid_arg "Symbolic_prop.propagate: input dimension mismatch";
   let xmag = input_magnitude box in
-  Array.fold_left
-    (fun nbs l -> layer_bounds ~xmag box l nbs)
-    (input_bounds box) net.Net.layers
+  let nbs = ref (input_bounds box) in
+  Array.iteri
+    (fun i l ->
+      nbs :=
+        Span.with_ "nnabs.layer"
+          ~attrs:
+            [
+              ("layer", Nncs_obs.Trace.Int i);
+              ("neurons", Int (Mat.rows l.Net.weights));
+            ]
+          (fun () -> layer_bounds ~xmag box l !nbs))
+    net.Net.layers;
+  !nbs
 
 let propagate net box =
   let nbs = final_bounds net box in

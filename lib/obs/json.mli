@@ -1,0 +1,32 @@
+(** A minimal JSON value type with a printer and parser, enough to write
+    and read back the observability artifacts (JSONL traces,
+    [bench_summary.json]) without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact single-line rendering (integral floats print without a
+    fractional part, so counters round-trip as integers). *)
+
+val of_string : string -> t
+(** Parse one JSON value; raises {!Parse_error} on malformed input or
+    trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to the first occurrence of
+    [k]; [None] on missing keys or non-objects. *)
+
+val to_float : t -> float
+(** Numeric payload of a [Num]; raises {!Parse_error} otherwise. *)
+
+val to_int : t -> int
+
+val to_str : t -> string

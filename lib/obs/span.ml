@@ -1,0 +1,59 @@
+type frame = {
+  name : string;
+  t0 : float;
+  depth : int;
+  attrs : (string * Trace.attr) list;
+  mutable child : float;  (* wall time spent in direct child spans *)
+}
+
+type t = frame option
+
+let null = None
+
+(* per-domain span stack; pushed by [enter], popped by [exit] *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let enter ?(attrs = []) name =
+  if not (Trace.enabled ()) then None
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let f =
+      {
+        name;
+        t0 = Trace.now_rel ();
+        depth = List.length !stack;
+        attrs;
+        child = 0.0;
+      }
+    in
+    stack := f :: !stack;
+    Some f
+  end
+
+let exit ?(attrs = []) t =
+  match t with
+  | None -> ()
+  | Some f ->
+      let stack = Domain.DLS.get stack_key in
+      (match !stack with
+      | g :: rest when g == f -> stack := rest
+      | _ -> stack := List.filter (fun g -> not (g == f)) !stack);
+      let dur = Trace.now_rel () -. f.t0 in
+      (match !stack with
+      | parent :: _ -> parent.child <- parent.child +. dur
+      | [] -> ());
+      Trace.emit
+        {
+          Trace.name = f.name;
+          dom = Trace.domain_id ();
+          ts = f.t0;
+          dur;
+          self = Float.max 0.0 (dur -. f.child);
+          depth = f.depth;
+          attrs = f.attrs @ attrs;
+        }
+
+let with_ ?attrs name fn =
+  let s = enter ?attrs name in
+  Fun.protect ~finally:(fun () -> exit s) fn

@@ -1,0 +1,32 @@
+(** Nestable timed regions.
+
+    A span opened with {!enter} (or scoped with {!with_}) measures the
+    wall time of a pipeline phase and emits one {!Trace.event} when it
+    closes, carrying its phase label, key/value attributes, nesting
+    depth, and both inclusive ([dur]) and exclusive ([self]) time — the
+    per-domain span stack attributes each child's duration to its parent
+    so that summing [self] over a trace never double-counts nested
+    phases.
+
+    When tracing is disabled (the default), {!enter} returns {!null}
+    without reading the clock: instrumentation costs an atomic load and
+    a branch. *)
+
+type t
+
+val null : t
+(** The no-op span; {!exit} on it does nothing. *)
+
+val enter : ?attrs:(string * Trace.attr) list -> string -> t
+(** Open a span named after its pipeline phase ([reach.resize],
+    [ode.simulate], ...); {!null} when tracing is disabled. *)
+
+val exit : ?attrs:(string * Trace.attr) list -> t -> unit
+(** Close the span and emit its event; extra [attrs] known only at close
+    time (outcomes, result sizes) are appended to the ones given at
+    {!enter}.  Closing out of order is tolerated (the frame is removed
+    from wherever it sits in the stack). *)
+
+val with_ : ?attrs:(string * Trace.attr) list -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span; the span is closed even when
+    [f] raises. *)

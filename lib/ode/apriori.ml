@@ -3,10 +3,17 @@ module B = Nncs_interval.Box
 
 exception Enclosure_failure of string
 
+let m_calls = Nncs_obs.Metrics.counter "ode.apriori_calls"
+
+(* inflation rounds beyond the first Picard candidate — the "sub-step
+   rejection" signal: a non-contracting candidate box had to be grown *)
+let m_retries = Nncs_obs.Metrics.counter "ode.apriori_retries"
+
 let max_tries = 30
 
 let enclosure sys ~t1 ~h ~state ~inputs =
   if h <= 0.0 then invalid_arg "Apriori.enclosure: non-positive step";
+  Nncs_obs.Metrics.incr m_calls;
   let tiv = I.make t1 (t1 +. h) in
   let hiv = I.make 0.0 h in
   let picard b =
@@ -28,6 +35,7 @@ let enclosure sys ~t1 ~h ~state ~inputs =
       let nb = picard b in
       if B.subset nb b then nb
       else begin
+        Nncs_obs.Metrics.incr m_retries;
         (* grow: hull with the image, plus relative + absolute inflation *)
         let grown =
           B.mapi

@@ -133,6 +133,8 @@ let jacobian_enclosure sys ~order ~t1 ~h ~inputs box =
 
 type step_result = { next : state; range : B.t }
 
+let m_lohner_steps = Nncs_obs.Metrics.counter "ode.lohner_steps"
+
 (* rigorous enclosure of the inverse of a nearly-orthogonal float matrix:
    Q^-1 = (Q^T Q)^-1 Q^T and ||(Q^T Q)^-1 - I||_inf <= eps/(1-eps) where
    eps = ||Q^T Q - I||_inf, evaluated in interval arithmetic *)
@@ -159,6 +161,7 @@ let inverse_orthogonal q =
   IM.mul fudge qt
 
 let step sys ~order ~t1 ~h ~inputs st =
+  Nncs_obs.Metrics.incr m_lohner_steps;
   let n = sys.Ode.dim in
   let zbox = hull st in
   let prior = Apriori.enclosure sys ~t1 ~h ~state:zbox ~inputs in

@@ -1,4 +1,8 @@
 module B = Nncs_interval.Box
+module Span = Nncs_obs.Span
+module Metrics = Nncs_obs.Metrics
+
+let m_substeps = Metrics.counter "ode.substeps"
 
 type scheme = Direct | Lohner
 
@@ -37,6 +41,14 @@ let simulate_lohner sys ~t0 ~period ~steps ~order ~state ~inputs =
 let simulate ?(scheme = Direct) sys ~t0 ~period ~steps ~order ~state ~inputs =
   if steps <= 0 then invalid_arg "Simulate.simulate: steps must be positive";
   if period <= 0.0 then invalid_arg "Simulate.simulate: period must be positive";
-  match scheme with
-  | Direct -> simulate_direct sys ~t0 ~period ~steps ~order ~state ~inputs
-  | Lohner -> simulate_lohner sys ~t0 ~period ~steps ~order ~state ~inputs
+  Metrics.add m_substeps steps;
+  Span.with_ "ode.simulate"
+    ~attrs:
+      [
+        ("steps", Nncs_obs.Trace.Int steps);
+        ("scheme", Str (match scheme with Direct -> "direct" | Lohner -> "lohner"));
+      ]
+    (fun () ->
+      match scheme with
+      | Direct -> simulate_direct sys ~t0 ~period ~steps ~order ~state ~inputs
+      | Lohner -> simulate_lohner sys ~t0 ~period ~steps ~order ~state ~inputs)
