@@ -1,20 +1,54 @@
 (* Command-line verification driver: reproduces the Section 7 experiment
    at a configurable scale — ribbon partition of the initial states,
    per-cell reachability with split refinement, coverage accounting and
-   a per-arc summary (the data behind Fig. 9a/9b). *)
+   a per-arc summary (the data behind Fig. 9a/9b).
+
+   Resilience: per-cell budgets (--cell-deadline and friends) bound the
+   damage of pathological cells; --journal checkpoints every finished
+   cell to a JSONL file and --resume restarts an interrupted run without
+   recomputing them. *)
 
 module S = Nncs_acasxu.Scenario
 module T = Nncs_acasxu.Training
+module P = Nncs_acasxu.Policy
 module Verify = Nncs.Verify
 module Reach = Nncs.Reach
+module Budget = Nncs_resilience.Budget
+module Journal = Nncs_resilience.Journal
+
+(* deliberately under-trained models for CI smoke tests: seconds, not
+   hours, to first verification attempt *)
+let tiny_training_spec =
+  {
+    T.default_spec with
+    T.hidden = [ 8 ];
+    samples = 400;
+    epochs = 2;
+  }
+
+let tiny_policy_config =
+  {
+    P.default_config with
+    P.rho_knots = [| 0.0; 500.0; 1000.0; 2000.0; 4000.0; 6000.0; 8000.0; 9000.0 |];
+    theta_cells = 9;
+    psi_cells = 9;
+    iterations = 10;
+  }
 
 let run dir arcs headings arc_sel gamma msteps order domain nn_splits
-    max_depth workers csv trace quiet =
-  let _, networks = T.load_or_train ~dir () in
+    max_depth workers cell_deadline cell_ode_budget cell_state_budget
+    journal_path resume tiny csv trace quiet =
+  let _, networks =
+    if tiny then
+      T.load_or_train ~spec:tiny_training_spec
+        ~policy_config:tiny_policy_config ~dir ()
+    else T.load_or_train ~dir ()
+  in
   let domain = Nncs_nnabs.Transformer.domain_of_string domain in
   let sys = S.system ~networks ~domain ~nn_splits () in
   let arc_indices = match arc_sel with [] -> None | l -> Some l in
   let cells = S.initial_cells ~arcs ~headings ?arc_indices () in
+  let total = List.length cells in
   let config =
     {
       Verify.reach =
@@ -28,9 +62,50 @@ let run dir arcs headings arc_sel gamma msteps order domain nn_splits
       strategy = Verify.All_dims [ Nncs_acasxu.Defs.ix; Nncs_acasxu.Defs.iy; Nncs_acasxu.Defs.ipsi ];
       max_depth;
       workers;
+      limits =
+        {
+          Budget.deadline_s = cell_deadline;
+          max_ode_steps = cell_ode_budget;
+          max_symstates = cell_state_budget;
+        };
+      degrade = true;
     }
   in
   let states = List.map snd cells in
+  (* checkpoint/resume: load finished cells from the journal, then keep
+     appending to it as new ones finish *)
+  let completed =
+    match journal_path with
+    | Some path when resume && Sys.file_exists path -> (
+        let meta_total, cells = Verify.load_journal path in
+        match meta_total with
+        | Some t when t <> total ->
+            Printf.eprintf
+              "journal %s is for a %d-cell partition, this run has %d: ignoring it\n%!"
+              path t total;
+            []
+        | _ ->
+            let cells = List.filter (fun c -> c.Verify.index < total) cells in
+            if not quiet then
+              Printf.eprintf "resumed %d cell(s) from journal %s\n%!"
+                (List.length cells) path;
+            cells)
+    | _ -> []
+  in
+  let writer =
+    match journal_path with
+    | None -> None
+    | Some path ->
+        let append = completed <> [] in
+        let w = Journal.create ~append path in
+        if not append then Journal.write w (Verify.journal_meta ~total);
+        Some w
+  in
+  let on_cell =
+    Option.map
+      (fun w c -> Journal.write w (Verify.cell_report_to_json c))
+      writer
+  in
   let progress =
     if quiet then None
     else
@@ -41,7 +116,8 @@ let run dir arcs headings arc_sel gamma msteps order domain nn_splits
   (* start the trace epoch after network loading/training so the wall
      clock of the dump covers exactly the verification run *)
   if trace <> None then Nncs_obs.Trace.enable ();
-  let report = Verify.verify_partition ~config ?progress sys states in
+  let report = Verify.verify_partition ~config ?progress ?on_cell ~completed sys states in
+  Option.iter Journal.close writer;
   (match trace with
   | None -> ()
   | Some path ->
@@ -70,18 +146,38 @@ let run dir arcs headings arc_sel gamma msteps order domain nn_splits
         (S.arc_center_angle ~arcs arc *. 180.0 /. Float.pi)
         cov time)
     arcs_seen;
-  Printf.printf "# overall coverage c = %.2f%%  (%d/%d cells fully proved, %.1f s)\n"
+  Printf.printf "# overall coverage c = %.2f%%  (%d/%d cells fully proved, %d unknown, %.1f s)\n"
     report.Verify.coverage report.Verify.proved_cells report.Verify.total_cells
-    report.Verify.elapsed;
+    report.Verify.unknown_cells report.Verify.elapsed;
+  (* surface the failure reasons so Unknown cells are actionable *)
+  let failures =
+    List.concat_map
+      (fun c ->
+        List.filter_map
+          (fun l ->
+            Option.map
+              (fun f -> (c.Verify.index, Nncs_resilience.Failure.to_string f))
+              (Verify.leaf_failure l))
+          c.Verify.leaves)
+      report.Verify.cells
+  in
+  if failures <> [] then begin
+    Printf.printf "# unknown leaves:\n";
+    List.iter
+      (fun (i, reason) -> Printf.printf "#   cell %d: %s\n" i reason)
+      failures
+  end;
   (match csv with
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      output_string oc "index,arc,proved_fraction,elapsed_s\n";
+      output_string oc "index,arc,proved_fraction,unknown,elapsed_s\n";
       List.iter
         (fun c ->
-          Printf.fprintf oc "%d,%d,%.6f,%.4f\n" c.Verify.index
-            cell_arc.(c.Verify.index) c.Verify.proved_fraction c.Verify.elapsed)
+          Printf.fprintf oc "%d,%d,%.6f,%d,%.4f\n" c.Verify.index
+            cell_arc.(c.Verify.index) c.Verify.proved_fraction
+            (if Verify.cell_has_failure c then 1 else 0)
+            c.Verify.elapsed)
         report.Verify.cells;
       close_out oc);
   0
@@ -105,6 +201,51 @@ let domain =
 let nn_splits = Arg.(value & opt int 0 & info [ "nn-splits" ] ~doc:"Input bisections in F#.")
 let max_depth = Arg.(value & opt int 2 & info [ "max-depth" ] ~doc:"Split-refinement depth.")
 let workers = Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Parallel domains.")
+
+let cell_deadline =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "cell-deadline" ]
+        ~doc:"Wall-clock budget per cell in seconds; an over-budget cell \
+              degrades to Unknown instead of stalling the run.")
+
+let cell_ode_budget =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cell-ode-budget" ]
+        ~doc:"Max validated-integration sub-steps per cell.")
+
+let cell_state_budget =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cell-state-budget" ]
+        ~doc:"Max symbolic states per control step per cell.")
+
+let journal =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ]
+        ~doc:"Append each finished cell's verdict to this JSONL file \
+              (checkpoint for --resume).")
+
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:"With --journal: skip cells already recorded in the journal \
+              and continue appending to it.")
+
+let tiny =
+  Arg.(
+    value & flag
+    & info [ "tiny-models" ]
+        ~doc:"Train deliberately tiny policy tables and networks (CI \
+              smoke tests; verdicts are meaningless).")
+
 let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write per-cell results to CSV.")
 
 let trace =
@@ -121,6 +262,8 @@ let cmd =
     (Cmd.info "acasxu_verify" ~doc:"Verify the ACAS Xu closed loop by reachability")
     Term.(
       const run $ dir $ arcs $ headings $ arc_sel $ gamma $ msteps $ order
-      $ domain $ nn_splits $ max_depth $ workers $ csv $ trace $ quiet)
+      $ domain $ nn_splits $ max_depth $ workers $ cell_deadline
+      $ cell_ode_budget $ cell_state_budget $ journal $ resume $ tiny $ csv
+      $ trace $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,8 @@
 module B = Nncs_interval.Box
 module Span = Nncs_obs.Span
 module Metrics = Nncs_obs.Metrics
+module Budget = Nncs_resilience.Budget
+module Failure_ = Nncs_resilience.Failure
 
 (* observability instruments (process-wide, see DESIGN.md "Observability") *)
 let m_steps = Metrics.counter "reach.steps"
@@ -51,7 +53,7 @@ let is_proved_safe r = r.outcome = Proved_safe
 
 exception Error_contact of int
 
-let analyze ?(config = default_config) sys r0 =
+let analyze ?(config = default_config) ?(budget = Budget.none) sys r0 =
   if config.integration_steps <= 0 then
     invalid_arg "Reach.analyze: non-positive integration_steps";
   let ctrl = sys.System.controller in
@@ -71,6 +73,12 @@ let analyze ?(config = default_config) sys r0 =
   in
   (* one control step: from R_j build (R_[j[, R_(j+1)) *)
   let control_step j rj =
+    Nncs_resilience.Fault.trigger "reach.step";
+    (* budget gates: checked once per control step so an exhausted cell
+       degrades within one step's work (Budget.Exhausted propagates to
+       the caller's firewall, not to [finish]) *)
+    Budget.check_deadline budget;
+    Budget.check_symstates budget (Symset.length rj);
     let before = Symset.length rj in
     let rj =
       Span.with_ "reach.resize"
@@ -85,6 +93,7 @@ let analyze ?(config = default_config) sys r0 =
     let active =
       Symset.filter (fun st -> not (sys.System.target.Spec.contains_box st)) rj
     in
+    Budget.add_ode_steps budget (config.integration_steps * Symset.length active);
     let flow = ref Symset.empty and next = ref Symset.empty in
     List.iter
       (fun st ->
@@ -171,6 +180,33 @@ let analyze ?(config = default_config) sys r0 =
     end
   in
   try loop 0 r0 with Error_contact j -> finish (Reached_error { step = j }) None
+
+let classify = function
+  | Nncs_ode.Apriori.Enclosure_failure msg ->
+      Some (Failure_.Enclosure_diverged msg)
+  | Nncs_interval.Interval.Numeric_error msg -> Some (Failure_.Numeric msg)
+  | Nncs_interval.Interval.Empty_meet ->
+      Some (Failure_.Numeric "empty interval meet")
+  | Nncs_interval.Interval.Division_by_zero_interval ->
+      Some (Failure_.Numeric "interval division by zero")
+  | _ -> None
+
+type verdict = (result, Failure_.t) Stdlib.result
+
+let run ?config ?budget sys r0 =
+  Nncs_resilience.Firewall.protect ~classify (fun () ->
+      try analyze ?config ?budget sys r0
+      with Error_contact j ->
+        (* boundary safety net: an early-abort contact that escaped the
+           in-analysis handler is still a definite not-proved verdict,
+           never a raw exception at this interface *)
+        {
+          outcome = Reached_error { step = j };
+          terminated_at = None;
+          steps = [];
+          max_states = 0;
+          total_joins = 0;
+        })
 
 let flow_union r =
   List.fold_left

@@ -48,10 +48,37 @@ type result = {
 
 val is_proved_safe : result -> bool
 
-val analyze : ?config:config -> System.t -> Symset.t -> result
+exception Error_contact of int
+(** Internal early-abort signal of the [early_abort] path.  It is
+    handled inside {!analyze} (and, as a safety net, mapped to a
+    [Reached_error] result by {!run}); it must never escape this
+    module's API. *)
+
+val analyze :
+  ?config:config -> ?budget:Nncs_resilience.Budget.t -> System.t -> Symset.t ->
+  result
 (** [analyze system r0] with [r0] the symbolic set enclosing the initial
     states.  May raise {!Nncs_ode.Apriori.Enclosure_failure} if the
-    validated integrator cannot enclose the flow (step too large). *)
+    validated integrator cannot enclose the flow (step too large),
+    [Nncs_resilience.Budget.Exhausted] when the [budget] runs out
+    (checked once per control step), or
+    [Nncs_interval.Interval.Numeric_error] on numeric garbage.  Callers
+    that must not die use {!run}. *)
+
+type verdict = (result, Nncs_resilience.Failure.t) Stdlib.result
+
+val classify : exn -> Nncs_resilience.Failure.t option
+(** Map the analysis-domain exceptions (enclosure failure, numeric
+    errors) to their failure reasons; [None] for anything unrecognised
+    (the firewall then reports [Worker_crashed]). *)
+
+val run :
+  ?config:config -> ?budget:Nncs_resilience.Budget.t -> System.t -> Symset.t ->
+  verdict
+(** The non-raising boundary: {!analyze} behind a
+    [Nncs_resilience.Firewall] with {!classify}.  Every analysis-domain
+    exception — including a leaked {!Error_contact}, which becomes a
+    [Reached_error] result — returns as data. *)
 
 val flow_union : result -> Symset.t
 (** The over-approximation R_[0,tau] (requires [keep_sets]). *)

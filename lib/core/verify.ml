@@ -1,9 +1,24 @@
 module Span = Nncs_obs.Span
 module Metrics = Nncs_obs.Metrics
+module Json = Nncs_obs.Json
+module B = Nncs_interval.Box
+module I = Nncs_interval.Interval
+module Budget = Nncs_resilience.Budget
+module Failure_ = Nncs_resilience.Failure
+module Firewall = Nncs_resilience.Firewall
+module Fault = Nncs_resilience.Fault
 
 let m_cells = Metrics.counter "verify.cells"
 let m_leaves = Metrics.counter "verify.leaves"
 let m_proved_leaves = Metrics.counter "verify.proved_leaves"
+
+(* resilience instruments: one counter per degradation-ladder rung plus
+   the terminal outcomes (see DESIGN.md "Resilience") *)
+let m_retry_halved = Metrics.counter "resilience.retry_halved_step"
+let m_fallback_interval = Metrics.counter "resilience.fallback_interval"
+let m_unknown_leaves = Metrics.counter "resilience.unknown_leaves"
+let m_worker_crashes = Metrics.counter "resilience.worker_crashes"
+let m_requeued_cells = Metrics.counter "resilience.requeued_cells"
 
 type split_strategy =
   | All_dims of int list
@@ -14,6 +29,8 @@ type config = {
   strategy : split_strategy;
   max_depth : int;
   workers : int;
+  limits : Budget.limits;
+  degrade : bool;
 }
 
 let default_config =
@@ -22,6 +39,8 @@ let default_config =
     strategy = All_dims [ 0; 1; 2 ];
     max_depth = 2;
     workers = 1;
+    limits = Budget.unlimited;
+    degrade = true;
   }
 
 (* Influence of a dimension on the controller decision: bisect the cell
@@ -49,11 +68,16 @@ let dims_to_split config sys cell =
       let take = max 1 (min take (List.length candidates)) in
       List.filteri (fun i _ -> i < take) (influence_order sys cell candidates)
 
+type leaf_result =
+  | Completed of Reach.outcome
+  | Failed of Failure_.t
+
 type leaf = {
   state : Symstate.t;
   depth : int;
   proved : bool;
-  outcome : Reach.outcome;
+  result : leaf_result;
+  rungs : string list;
   elapsed : float;
 }
 
@@ -69,20 +93,85 @@ type report = {
   coverage : float;
   elapsed : float;
   proved_cells : int;
+  unknown_cells : int;
   total_cells : int;
 }
 
 let now () = Unix.gettimeofday ()
 
-let run_reach config sys st =
+let leaf_failure l = match l.result with Failed f -> Some f | Completed _ -> None
+
+let cell_has_failure c = List.exists (fun l -> leaf_failure l <> None) c.leaves
+
+(* ----- the graceful-degradation ladder -----
+
+   One reach attempt per rung, all drawing on the same per-cell budget:
+     1. "base"            — the configured reach
+     2. "halved_step"     — double the integration sub-steps (halved
+                            Lohner/Taylor step, smaller a-priori boxes)
+     3. "interval_domain" — swap the controller abstraction down to the
+                            cheap interval transformer
+   Budget exhaustion short-circuits: retrying with *more* work cannot
+   help a cell that ran out of time or steps. *)
+
+let rung_base = "base"
+let rung_halved = "halved_step"
+let rung_interval = "interval_domain"
+
+let attempt reach_config budget sys st =
+  Reach.run ~config:reach_config ~budget sys (Symset.of_list [ st ])
+
+let run_ladder config budget sys st =
+  let base = config.reach in
+  match attempt base budget sys st with
+  | Ok r -> (Ok r, [ rung_base ])
+  | Error (Failure_.Budget_exceeded _ as f) -> (Error f, [ rung_base ])
+  | Error _ -> (
+      Metrics.incr m_retry_halved;
+      let halved =
+        { base with Reach.integration_steps = 2 * base.Reach.integration_steps }
+      in
+      match attempt halved budget sys st with
+      | Ok r -> (Ok r, [ rung_base; rung_halved ])
+      | Error (Failure_.Budget_exceeded _ as f) ->
+          (Error f, [ rung_base; rung_halved ])
+      | Error f2 ->
+          let ctrl = sys.System.controller in
+          if ctrl.Controller.domain = Nncs_nnabs.Transformer.Interval then
+            (Error f2, [ rung_base; rung_halved ])
+          else begin
+            Metrics.incr m_fallback_interval;
+            let sys' =
+              {
+                sys with
+                System.controller =
+                  { ctrl with Controller.domain = Nncs_nnabs.Transformer.Interval };
+              }
+            in
+            match attempt halved budget sys' st with
+            | Ok r -> (Ok r, [ rung_base; rung_halved; rung_interval ])
+            | Error f3 -> (Error f3, [ rung_base; rung_halved; rung_interval ])
+          end)
+
+let run_leaf config budget sys st =
   let t0 = now () in
-  let r = Reach.analyze ~config:config.reach sys (Symset.of_list [ st ]) in
-  (r, now () -. t0)
+  let verdict, rungs =
+    if config.degrade then run_ladder config budget sys st
+    else
+      match attempt config.reach budget sys st with
+      | Ok r -> (Ok r, [ rung_base ])
+      | Error f -> (Error f, [ rung_base ])
+  in
+  (verdict, rungs, now () -. t0)
 
 let strategy_arity = function
   | All_dims dims -> List.length dims
   | Most_influential { take; candidates } ->
       max 1 (min take (List.length candidates))
+
+let unknown_leaf ?(rungs = []) ?(elapsed = 0.0) ~depth st f =
+  Metrics.incr m_unknown_leaves;
+  { state = st; depth; proved = false; result = Failed f; rungs; elapsed }
 
 let verify_cell ?(config = default_config) ?(index = 0) sys cell =
   if config.max_depth < 0 then invalid_arg "Verify.verify_cell: negative depth";
@@ -92,25 +181,64 @@ let verify_cell ?(config = default_config) ?(index = 0) sys cell =
       invalid_arg "Verify.verify_cell: no split dimensions"
   | All_dims _ | Most_influential _ -> ());
   let factor = float_of_int (1 lsl strategy_arity config.strategy) in
+  let budget = Budget.start config.limits in
   let rec go depth st =
-    let r, dt =
+    let (verdict, rungs, dt) =
       Span.with_ "verify.leaf"
         ~attrs:[ ("depth", Nncs_obs.Trace.Int depth) ]
-        (fun () -> run_reach config sys st)
+        (fun () -> run_leaf config budget sys st)
     in
     Metrics.incr m_leaves;
-    if Reach.is_proved_safe r then Metrics.incr m_proved_leaves;
-    if Reach.is_proved_safe r || depth >= config.max_depth then
-      [ { state = st; depth; proved = Reach.is_proved_safe r; outcome = r.Reach.outcome; elapsed = dt } ]
+    let proved =
+      match verdict with Ok r -> Reach.is_proved_safe r | Error _ -> false
+    in
+    if proved then Metrics.incr m_proved_leaves;
+    let out_of_budget =
+      match verdict with
+      | Error (Failure_.Budget_exceeded _) -> true
+      | _ -> false
+    in
+    (* refinement also drives "could not conclude": a failed leaf is
+       split like an unproved one (smaller boxes often restore the
+       enclosure) — except when the budget is gone, where splitting
+       would only multiply the failures *)
+    if proved || depth >= config.max_depth || out_of_budget then begin
+      (match verdict with
+      | Ok r ->
+          [
+            {
+              state = st;
+              depth;
+              proved;
+              result = Completed r.Reach.outcome;
+              rungs;
+              elapsed = dt;
+            };
+          ]
+      | Error f -> [ unknown_leaf ~rungs ~elapsed:dt ~depth st f ])
+    end
     else
-      (* split refinement along the strategy's dimensions for this cell *)
       List.concat_map (go (depth + 1))
         (Symstate.split st (dims_to_split config sys st))
   in
   let t0 = now () in
-  let span = Span.enter ~attrs:[ ("index", Nncs_obs.Trace.Int index) ] "verify.cell" in
+  let span =
+    Span.enter ~attrs:[ ("index", Nncs_obs.Trace.Int index) ] "verify.cell"
+  in
   let leaves =
-    Fun.protect ~finally:(fun () -> Span.exit span) (fun () -> go 0 cell)
+    Fun.protect
+      ~finally:(fun () -> Span.exit span)
+      (fun () ->
+        (* the per-cell firewall: any exception the per-leaf ladder did
+           not absorb (strategy evaluation, splitting, injected faults,
+           plain bugs) degrades this one cell to Unknown *)
+        match
+          Firewall.protect ~classify:Reach.classify (fun () ->
+              Fault.trigger ~key:(string_of_int index) "verify.cell";
+              go 0 cell)
+        with
+        | Ok leaves -> leaves
+        | Error f -> [ unknown_leaf ~depth:0 cell f ])
   in
   Metrics.incr m_cells;
   let proved_fraction =
@@ -130,47 +258,91 @@ let coverage_of_cells cells =
       *. List.fold_left (fun acc c -> acc +. c.proved_fraction) 0.0 cells
       /. float_of_int (List.length cells)
 
-let chunk_indices total workers =
-  (* round-robin assignment keeps similar-cost neighbouring cells spread
-     across workers *)
-  List.init workers (fun w ->
-      List.filter (fun i -> i mod workers = w) (List.init total Fun.id))
+let crashed_cell_report index st msg =
+  {
+    index;
+    leaves = [ unknown_leaf ~depth:0 st (Failure_.Worker_crashed msg) ];
+    proved_fraction = 0.0;
+    elapsed = 0.0;
+  }
 
-let verify_partition ?(config = default_config) ?progress sys cells =
+let verify_partition ?(config = default_config) ?progress ?on_cell
+    ?(completed = []) sys cells =
   let t0 = now () in
   let cells_arr = Array.of_list cells in
   let total = Array.length cells_arr in
   let results = Array.make total None in
+  List.iter
+    (fun (c : cell_report) ->
+      if c.index >= 0 && c.index < total then results.(c.index) <- Some c)
+    completed;
+  let initially_done =
+    Array.fold_left (fun n r -> if r = None then n else n + 1) 0 results
+  in
   (* a shared atomic counter so the parallel path reports each finished
      cell live (the callback then runs on the worker's domain) *)
-  let done_count = Atomic.make 0 in
+  let done_count = Atomic.make initially_done in
   let run_one i =
     let r = verify_cell ~config ~index:i sys cells_arr.(i) in
+    (match on_cell with Some f -> f r | None -> ());
     let d = Atomic.fetch_and_add done_count 1 + 1 in
-    (match progress with Some f -> f d total | None -> ());
+    (match progress with Some f -> f (min d total) total | None -> ());
     r
   in
-  if config.workers <= 1 || total <= 1 then
-    Array.iteri (fun i _ -> results.(i) <- Some (run_one i)) cells_arr
+  let pending =
+    List.filter (fun i -> results.(i) = None) (List.init total Fun.id)
+  in
+  let n_pending = List.length pending in
+  if config.workers <= 1 || n_pending <= 1 then
+    List.iter (fun i -> results.(i) <- Some (run_one i)) pending
   else begin
-    let chunks = chunk_indices total (min config.workers total) in
-    let domains =
-      List.mapi
-        (fun w idxs ->
-          Domain.spawn (fun () ->
-              Span.with_ "verify.worker"
-                ~attrs:
-                  [
-                    ("worker", Nncs_obs.Trace.Int w);
-                    ("cells", Int (List.length idxs));
-                  ]
-                (fun () -> List.map (fun i -> (i, run_one i)) idxs)))
-        chunks
+    (* Fault-isolated parallel workers over a shared queue.  Each worker
+       pulls the next pending index; a cell that raises through every
+       firewall is recorded as crashed (first try/with); a worker domain
+       that dies wholesale (fatal exception) forfeits its unrecorded
+       cells, which the recovery sweep below re-runs in this domain. *)
+    let queue = Array.of_list pending in
+    let next = Atomic.make 0 in
+    let nworkers = min config.workers n_pending in
+    let worker w () =
+      Span.with_ "verify.worker"
+        ~attrs:[ ("worker", Nncs_obs.Trace.Int w) ]
+        (fun () ->
+          let out = ref [] in
+          let rec pull () =
+            let k = Atomic.fetch_and_add next 1 in
+            if k < Array.length queue then begin
+              let i = queue.(k) in
+              (try out := (i, run_one i) :: !out
+               with e when not (Firewall.fatal e) ->
+                 Metrics.incr m_worker_crashes;
+                 out :=
+                   (i, crashed_cell_report i cells_arr.(i) (Printexc.to_string e))
+                   :: !out);
+              pull ()
+            end
+          in
+          pull ();
+          !out)
     in
+    let domains = List.init nworkers (fun w -> Domain.spawn (worker w)) in
     List.iter
       (fun d ->
-        List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join d))
-      domains
+        match Domain.join d with
+        | rs -> List.iter (fun (i, r) -> results.(i) <- Some r) rs
+        | exception _ ->
+            (* the domain died; its completed-but-unreported and
+               in-flight cells are still None and will be re-queued *)
+            Metrics.incr m_worker_crashes)
+      domains;
+    (* crash recovery: re-run every cell no surviving worker reported *)
+    Array.iteri
+      (fun i r ->
+        if r = None then begin
+          Metrics.incr m_requeued_cells;
+          results.(i) <- Some (run_one i)
+        end)
+      results
   end;
   let cell_reports =
     Array.to_list results
@@ -181,6 +353,149 @@ let verify_partition ?(config = default_config) ?progress sys cells =
     coverage = coverage_of_cells cell_reports;
     elapsed = now () -. t0;
     proved_cells =
-      List.length (List.filter (fun c -> c.proved_fraction >= 1.0 -. 1e-12) cell_reports);
+      List.length
+        (List.filter (fun c -> c.proved_fraction >= 1.0 -. 1e-12) cell_reports);
+    unknown_cells = List.length (List.filter cell_has_failure cell_reports);
     total_cells = total;
   }
+
+(* ----- journal serialization -----
+
+   One JSON object per cell, self-contained enough to reconstruct the
+   cell_report exactly: boxes round-trip through %.17g printing. *)
+
+let box_to_json b =
+  Json.List
+    (Array.to_list
+       (Array.map
+          (fun iv -> Json.List [ Json.Num (I.lo iv); Json.Num (I.hi iv) ])
+          (B.to_array b)))
+
+let box_of_json = function
+  | Json.List dims ->
+      B.of_bounds
+        (Array.of_list
+           (List.map
+              (function
+                | Json.List [ lo; hi ] -> (Json.to_float lo, Json.to_float hi)
+                | _ -> raise (Json.Parse_error "box: expected [lo,hi]"))
+              dims))
+  | _ -> raise (Json.Parse_error "box: expected a list")
+
+let leaf_result_to_json = function
+  | Completed Reach.Proved_safe -> Json.Obj [ ("verdict", Json.Str "safe") ]
+  | Completed (Reach.Reached_error { step }) ->
+      Json.Obj
+        [ ("verdict", Json.Str "unsafe"); ("step", Json.Num (float_of_int step)) ]
+  | Completed Reach.Horizon_exhausted ->
+      Json.Obj [ ("verdict", Json.Str "horizon") ]
+  | Failed f ->
+      Json.Obj [ ("verdict", Json.Str "unknown"); ("failure", Failure_.to_json f) ]
+
+let leaf_result_of_json j =
+  match Json.member "verdict" j with
+  | Some (Json.Str "safe") -> Completed Reach.Proved_safe
+  | Some (Json.Str "unsafe") -> (
+      match Json.member "step" j with
+      | Some s -> Completed (Reach.Reached_error { step = Json.to_int s })
+      | None -> raise (Json.Parse_error "leaf: unsafe without step"))
+  | Some (Json.Str "horizon") -> Completed Reach.Horizon_exhausted
+  | Some (Json.Str "unknown") -> (
+      match Json.member "failure" j with
+      | Some f -> Failed (Failure_.of_json f)
+      | None -> raise (Json.Parse_error "leaf: unknown without failure"))
+  | _ -> raise (Json.Parse_error "leaf: bad verdict")
+
+let leaf_to_json l =
+  Json.Obj
+    [
+      ("box", box_to_json l.state.Symstate.box);
+      ("cmd", Json.Num (float_of_int l.state.Symstate.cmd));
+      ("depth", Json.Num (float_of_int l.depth));
+      ("proved", Json.Bool l.proved);
+      ("result", leaf_result_to_json l.result);
+      ("rungs", Json.List (List.map (fun r -> Json.Str r) l.rungs));
+      ("elapsed", Json.Num l.elapsed);
+    ]
+
+let get ?(what = "field") j k =
+  match Json.member k j with
+  | Some v -> v
+  | None -> raise (Json.Parse_error (Printf.sprintf "%s: missing %S" what k))
+
+let leaf_of_json j =
+  let state =
+    Symstate.make (box_of_json (get ~what:"leaf" j "box"))
+      (Json.to_int (get ~what:"leaf" j "cmd"))
+  in
+  {
+    state;
+    depth = Json.to_int (get ~what:"leaf" j "depth");
+    proved = (match get ~what:"leaf" j "proved" with
+             | Json.Bool b -> b
+             | _ -> raise (Json.Parse_error "leaf: proved not a bool"));
+    result = leaf_result_of_json (get ~what:"leaf" j "result");
+    rungs =
+      (match get ~what:"leaf" j "rungs" with
+      | Json.List rs -> List.map Json.to_str rs
+      | _ -> raise (Json.Parse_error "leaf: rungs not a list"));
+    elapsed = Json.to_float (get ~what:"leaf" j "elapsed");
+  }
+
+let cell_report_to_json c =
+  Json.Obj
+    [
+      ("t", Json.Str "cell");
+      ("index", Json.Num (float_of_int c.index));
+      ("proved_fraction", Json.Num c.proved_fraction);
+      ("elapsed", Json.Num c.elapsed);
+      ("leaves", Json.List (List.map leaf_to_json c.leaves));
+    ]
+
+let cell_report_of_json j =
+  {
+    index = Json.to_int (get ~what:"cell" j "index");
+    proved_fraction = Json.to_float (get ~what:"cell" j "proved_fraction");
+    elapsed = Json.to_float (get ~what:"cell" j "elapsed");
+    leaves =
+      (match get ~what:"cell" j "leaves" with
+      | Json.List ls -> List.map leaf_of_json ls
+      | _ -> raise (Json.Parse_error "cell: leaves not a list"));
+  }
+
+let journal_meta ~total =
+  Json.Obj
+    [
+      ("t", Json.Str "meta");
+      ("kind", Json.Str "nncs-verify-journal");
+      ("version", Json.Num 1.0);
+      ("total", Json.Num (float_of_int total));
+    ]
+
+let load_journal path =
+  let lines = Nncs_resilience.Journal.load path in
+  let meta_total =
+    List.find_map
+      (fun j ->
+        if Json.member "t" j = Some (Json.Str "meta") then
+          Option.map Json.to_int (Json.member "total" j)
+        else None)
+      lines
+  in
+  let cells =
+    List.filter_map
+      (fun j ->
+        if Json.member "t" j = Some (Json.Str "cell") then
+          Some (cell_report_of_json j)
+        else None)
+      lines
+  in
+  (* keep the last record per index: a resumed run may have re-journaled
+     a cell that was in flight when its predecessor died *)
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace tbl c.index c) cells;
+  let dedup =
+    Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+    |> List.sort (fun a b -> compare a.index b.index)
+  in
+  (meta_total, dedup)

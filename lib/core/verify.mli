@@ -3,7 +3,15 @@
     when a cell cannot be proved safe, bisect it along the configured
     dimensions and retry, up to a maximum refinement depth; account
     coverage with the paper's formula
-    [c = 100/K0 * sum_d n_d / f^d] where [f = 2^|split_dims|]. *)
+    [c = 100/K0 * sum_d n_d / f^d] where [f = 2^|split_dims|].
+
+    The driver is resilient by construction (see DESIGN.md §8): every
+    reach attempt runs behind {!Reach.run}'s firewall against a per-cell
+    budget; a failing leaf walks a graceful-degradation ladder (halved
+    integrator step, then the interval controller abstraction) before
+    settling for an [Unknown] verdict with a structured
+    [Nncs_resilience.Failure.t] reason — one pathological cell can no
+    longer kill a partition run. *)
 
 type split_strategy =
   | All_dims of int list
@@ -20,16 +28,32 @@ type config = {
   strategy : split_strategy;
   max_depth : int;  (** maximum number of refinements (paper: 2) *)
   workers : int;  (** parallel domains for independent cells (>= 1) *)
+  limits : Nncs_resilience.Budget.limits;
+      (** per-cell budget, shared by all of the cell's leaves and
+          degradation retries *)
+  degrade : bool;
+      (** walk the degradation ladder before returning Unknown (on by
+          default; off = a single attempt per leaf) *)
 }
 
 val default_config : config
-(** Paper setup: reach defaults, [All_dims [0;1;2]], depth 2, serial. *)
+(** Paper setup: reach defaults, [All_dims [0;1;2]], depth 2, serial,
+    unlimited budget, degradation on. *)
+
+type leaf_result =
+  | Completed of Reach.outcome  (** the reach analysis ran to a verdict *)
+  | Failed of Nncs_resilience.Failure.t
+      (** every ladder rung failed: the leaf is [Unknown] with a reason *)
 
 type leaf = {
   state : Symstate.t;  (** the (possibly refined) initial cell *)
   depth : int;
   proved : bool;
-  outcome : Reach.outcome;
+  result : leaf_result;
+  rungs : string list;
+      (** degradation rungs attempted, in order (["base"],
+          ["halved_step"], ["interval_domain"]); empty when the failure
+          struck outside the ladder *)
   elapsed : float;  (** seconds spent on this leaf's reachability *)
 }
 
@@ -45,25 +69,68 @@ type report = {
   coverage : float;  (** percent, the paper's c *)
   elapsed : float;
   proved_cells : int;  (** cells with proved_fraction = 1 *)
+  unknown_cells : int;  (** cells with at least one [Failed] leaf *)
   total_cells : int;
 }
+
+val leaf_failure : leaf -> Nncs_resilience.Failure.t option
+val cell_has_failure : cell_report -> bool
 
 val verify_cell :
   ?config:config -> ?index:int -> System.t -> Symstate.t -> cell_report
 (** Verify one initial cell with split refinement; the report's [index]
-    field is [index] (default 0). *)
+    field is [index] (default 0).  Never raises on analysis failures:
+    the per-cell firewall turns them into [Failed] leaves.  A leaf that
+    fails with budget left is split like an unproved one (refinement as
+    failure recovery); once the budget is exhausted the cell stops
+    refining. *)
 
 val verify_partition :
-  ?config:config -> ?progress:(int -> int -> unit) -> System.t ->
-  Symstate.t list -> report
+  ?config:config ->
+  ?progress:(int -> int -> unit) ->
+  ?on_cell:(cell_report -> unit) ->
+  ?completed:cell_report list ->
+  System.t ->
+  Symstate.t list ->
+  report
 (** Verify every cell of the partition ([progress done total] is called
     after each cell when provided).  Cells are independent; with
-    [workers > 1] they are processed by that many domains in parallel and
-    [progress] fires live from the worker that finished the cell — the
-    callback must therefore tolerate concurrent invocation. *)
+    [workers > 1] they are pulled from a shared queue by that many
+    domains, so [progress] and [on_cell] fire live from the worker that
+    finished the cell — both callbacks must tolerate concurrent
+    invocation.  [on_cell] is the journaling hook: it receives each
+    freshly computed report (but not the pre-[completed] ones).
+
+    Fault isolation: a cell whose analysis escapes every firewall is
+    recorded as [Unknown (Worker_crashed _)]; a worker domain that dies
+    forfeits only its unreported cells, which are re-queued and run in
+    the calling domain ([resilience.requeued_cells] counts them).
+
+    [completed] (e.g. from {!load_journal}) pre-fills results by
+    [index]; those cells are skipped, not recomputed. *)
 
 val coverage_of_cells : cell_report list -> float
 
 val influence_order : System.t -> Symstate.t -> int list -> int list
 (** The candidate dimensions sorted from most to least influential (see
     {!Most_influential}); exposed for tests and diagnostics. *)
+
+(** {1 Journal serialization}
+
+    One self-contained JSON object per cell; boxes round-trip through
+    17-digit printing, so a resumed run reproduces the interrupted one's
+    reports exactly. *)
+
+val cell_report_to_json : cell_report -> Nncs_obs.Json.t
+val cell_report_of_json : Nncs_obs.Json.t -> cell_report
+val leaf_to_json : leaf -> Nncs_obs.Json.t
+val leaf_of_json : Nncs_obs.Json.t -> leaf
+
+val journal_meta : total:int -> Nncs_obs.Json.t
+(** The journal header line, recording the partition size so a resume
+    against a different partition is detected. *)
+
+val load_journal : string -> int option * cell_report list
+(** Parse a journal file: the meta line's [total] (if present) and the
+    completed cell reports, deduplicated by index (last record wins),
+    sorted by index.  Tolerates a truncated final line. *)

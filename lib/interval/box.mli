@@ -7,9 +7,13 @@ val of_intervals : Interval.t array -> t
 (** The array is copied. Raises [Invalid_argument] on an empty array. *)
 
 val of_point : float array -> t
-(** Degenerate box. *)
+(** Degenerate box.  Raises [Interval.Numeric_error] on NaN
+    coordinates. *)
 
 val of_bounds : (float * float) array -> t
+(** Raises [Interval.Numeric_error] on NaN bounds (numeric garbage from
+    upstream computations surfaces here instead of propagating). *)
+
 val dim : t -> int
 val get : t -> int -> Interval.t
 val to_array : t -> Interval.t array
@@ -33,6 +37,9 @@ val equal : t -> t -> bool
 val hull : t -> t -> t
 val meet : t -> t -> t option
 val inflate : t -> float -> t
+(** Widen every coordinate; raises [Interval.Numeric_error] on a NaN or
+    infinite radius. *)
+
 val max_width : t -> float
 (** Width of the widest coordinate. *)
 

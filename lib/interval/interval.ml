@@ -2,17 +2,23 @@ type t = { lo : float; hi : float }
 
 exception Empty_meet
 exception Division_by_zero_interval
+exception Numeric_error of string
 
 module R = Rounding
 
+let numeric_error fmt = Printf.ksprintf (fun s -> raise (Numeric_error s)) fmt
+
 let make lo hi =
-  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+  if Float.is_nan lo || Float.is_nan hi then
+    numeric_error "Interval.make: NaN bound [%h, %h]" lo hi
+  else if lo > hi then
     invalid_arg
       (Printf.sprintf "Interval.make: invalid bounds [%h, %h]" lo hi)
   else { lo; hi }
 
 let of_float x =
-  if Float.is_nan x then invalid_arg "Interval.of_float: nan" else { lo = x; hi = x }
+  if Float.is_nan x then numeric_error "Interval.of_float: NaN"
+  else { lo = x; hi = x }
 
 let zero = { lo = 0.0; hi = 0.0 }
 let one = { lo = 1.0; hi = 1.0 }
@@ -51,7 +57,11 @@ let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
 
 let meet a b =
   let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
-  if lo > hi then None else Some { lo; hi }
+  if Float.is_nan lo || Float.is_nan hi then
+    numeric_error "Interval.meet: NaN bound (operands [%h,%h] [%h,%h])" a.lo
+      a.hi b.lo b.hi
+  else if lo > hi then None
+  else Some { lo; hi }
 
 let meet_exn a b = match meet a b with Some m -> m | None -> raise Empty_meet
 
@@ -60,6 +70,8 @@ let bisect x =
   ({ lo = x.lo; hi = m }, { lo = m; hi = x.hi })
 
 let inflate x eps =
+  if not (Float.is_finite eps) then
+    numeric_error "Interval.inflate: non-finite epsilon %h" eps;
   if eps < 0.0 then invalid_arg "Interval.inflate: negative epsilon";
   { lo = R.sub_down x.lo eps; hi = R.add_up x.hi eps }
 

@@ -12,11 +12,19 @@ exception Empty_meet
 exception Division_by_zero_interval
 (** Raised by {!div} when the divisor contains zero. *)
 
+exception Numeric_error of string
+(** Numeric garbage surfaced at a guard: a NaN bound reaching {!make},
+    {!of_float} or {!meet}, or a non-finite inflation radius.  Distinct
+    from [Invalid_argument] (a caller bug) so the verification driver
+    can classify it as a [Numeric] failure and degrade the offending
+    cell to [Unknown] instead of dying. *)
+
 (** {1 Construction} *)
 
 val make : float -> float -> t
 (** [make lo hi] requires [lo <= hi] and both finite or infinite, not
-    NaN.  Raises [Invalid_argument] otherwise. *)
+    NaN.  Raises {!Numeric_error} on NaN bounds, [Invalid_argument] on
+    [lo > hi]. *)
 
 val of_float : float -> t
 (** Degenerate interval [x, x]. *)
@@ -67,7 +75,9 @@ val bisect : t -> t * t
 (** Split at the midpoint. *)
 
 val inflate : t -> float -> t
-(** [inflate x eps] widens both ends by [eps >= 0] absolutely. *)
+(** [inflate x eps] widens both ends by [eps >= 0] absolutely.  Raises
+    {!Numeric_error} on a NaN or infinite [eps] (an infinite radius
+    would silently turn the interval into the whole line). *)
 
 val is_degenerate : t -> bool
 val is_bounded : t -> bool

@@ -13,6 +13,7 @@ let max_tries = 30
 
 let enclosure sys ~t1 ~h ~state ~inputs =
   if h <= 0.0 then invalid_arg "Apriori.enclosure: non-positive step";
+  Nncs_resilience.Fault.trigger "ode.apriori";
   Nncs_obs.Metrics.incr m_calls;
   let tiv = I.make t1 (t1 +. h) in
   let hiv = I.make 0.0 h in
@@ -41,7 +42,11 @@ let enclosure sys ~t1 ~h ~state ~inputs =
           B.mapi
             (fun _ iv ->
               let w = I.width iv in
-              I.inflate iv ((swell *. w) +. !abs_eps))
+              let eps = (swell *. w) +. !abs_eps in
+              (* an overflowing candidate widens to the whole line; the
+                 Picard test then either accepts the (useless but sound)
+                 unbounded enclosure or hits [max_tries] *)
+              if Float.is_finite eps then I.inflate iv eps else I.entire)
             (B.hull b nb)
         in
         abs_eps := !abs_eps *. 2.0;

@@ -41,6 +41,7 @@ let simulate_lohner sys ~t0 ~period ~steps ~order ~state ~inputs =
 let simulate ?(scheme = Direct) sys ~t0 ~period ~steps ~order ~state ~inputs =
   if steps <= 0 then invalid_arg "Simulate.simulate: steps must be positive";
   if period <= 0.0 then invalid_arg "Simulate.simulate: period must be positive";
+  Nncs_resilience.Fault.trigger "ode.simulate";
   Metrics.add m_substeps steps;
   Span.with_ "ode.simulate"
     ~attrs:

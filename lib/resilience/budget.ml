@@ -1,0 +1,54 @@
+type limits = {
+  deadline_s : float option;
+  max_ode_steps : int option;
+  max_symstates : int option;
+}
+
+let unlimited = { deadline_s = None; max_ode_steps = None; max_symstates = None }
+
+let is_unlimited l =
+  l.deadline_s = None && l.max_ode_steps = None && l.max_symstates = None
+
+type t = {
+  deadline : float option;  (* absolute wall-clock stamp *)
+  max_ode_steps : int option;
+  max_symstates : int option;
+  ode_steps : int Atomic.t;
+}
+
+exception Exhausted of Failure.budget_kind
+
+let start l =
+  {
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) l.deadline_s;
+    max_ode_steps = l.max_ode_steps;
+    max_symstates = l.max_symstates;
+    ode_steps = Atomic.make 0;
+  }
+
+let none =
+  {
+    deadline = None;
+    max_ode_steps = None;
+    max_symstates = None;
+    ode_steps = Atomic.make 0;
+  }
+
+let check_deadline t =
+  match t.deadline with
+  | Some d when Unix.gettimeofday () >= d -> raise (Exhausted Failure.Deadline)
+  | _ -> ()
+
+let add_ode_steps t n =
+  match t.max_ode_steps with
+  | None -> ()
+  | Some m ->
+      if Atomic.fetch_and_add t.ode_steps n + n > m then
+        raise (Exhausted Failure.Ode_steps)
+
+let check_symstates t n =
+  match t.max_symstates with
+  | Some m when n > m -> raise (Exhausted Failure.Symbolic_states)
+  | _ -> ()
+
+let used_ode_steps t = Atomic.get t.ode_steps

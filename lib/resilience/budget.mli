@@ -1,0 +1,48 @@
+(** Per-work-item resource budgets.
+
+    A budget bounds one verification cell (including any degradation
+    retries): a wall-clock deadline, a cap on validated-integration
+    sub-steps, and a cap on the symbolic-state count.  Exceeding any
+    limit raises {!Exhausted}, which the {!Firewall} maps to a
+    [Failure.Budget_exceeded] verdict — the cell degrades to [Unknown]
+    instead of monopolising a worker.
+
+    Checks are cheap (a clock read or an atomic add) and are meant to be
+    called from the hot reach loop once per control step. *)
+
+type limits = {
+  deadline_s : float option;
+      (** wall-clock seconds allowed from {!start}; a non-positive value
+          is already expired *)
+  max_ode_steps : int option;
+      (** total validated-integration sub-steps across the whole item *)
+  max_symstates : int option;
+      (** cap on the symbolic-state count per control step *)
+}
+
+val unlimited : limits
+(** All limits off: checks never fire. *)
+
+val is_unlimited : limits -> bool
+
+type t
+
+exception Exhausted of Failure.budget_kind
+
+val start : limits -> t
+(** Stamp the deadline now; counters start at zero. *)
+
+val none : t
+(** The no-op budget (all checks pass); shared, never exhausts. *)
+
+val check_deadline : t -> unit
+(** Raises [Exhausted Deadline] once the wall clock passes the stamp. *)
+
+val add_ode_steps : t -> int -> unit
+(** Account [n] integrator sub-steps; raises [Exhausted Ode_steps] when
+    the running total crosses the cap. *)
+
+val check_symstates : t -> int -> unit
+(** Raises [Exhausted Symbolic_states] when [n] exceeds the cap. *)
+
+val used_ode_steps : t -> int

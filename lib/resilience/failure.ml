@@ -1,0 +1,62 @@
+module Json = Nncs_obs.Json
+
+type budget_kind = Deadline | Ode_steps | Symbolic_states
+
+type t =
+  | Enclosure_diverged of string
+  | Budget_exceeded of budget_kind
+  | Numeric of string
+  | Worker_crashed of string
+
+let budget_kind_to_string = function
+  | Deadline -> "deadline"
+  | Ode_steps -> "ode_steps"
+  | Symbolic_states -> "symbolic_states"
+
+let budget_kind_of_string = function
+  | "deadline" -> Some Deadline
+  | "ode_steps" -> Some Ode_steps
+  | "symbolic_states" -> Some Symbolic_states
+  | _ -> None
+
+let to_string = function
+  | Enclosure_diverged msg -> "enclosure_diverged: " ^ msg
+  | Budget_exceeded k -> "budget_exceeded: " ^ budget_kind_to_string k
+  | Numeric msg -> "numeric: " ^ msg
+  | Worker_crashed msg -> "worker_crashed: " ^ msg
+
+let to_json = function
+  | Enclosure_diverged msg ->
+      Json.Obj [ ("reason", Json.Str "enclosure_diverged"); ("detail", Json.Str msg) ]
+  | Budget_exceeded k ->
+      Json.Obj
+        [
+          ("reason", Json.Str "budget_exceeded");
+          ("kind", Json.Str (budget_kind_to_string k));
+        ]
+  | Numeric msg ->
+      Json.Obj [ ("reason", Json.Str "numeric"); ("detail", Json.Str msg) ]
+  | Worker_crashed msg ->
+      Json.Obj [ ("reason", Json.Str "worker_crashed"); ("detail", Json.Str msg) ]
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Json.Parse_error s)) fmt
+
+let of_json j =
+  let detail () =
+    match Json.member "detail" j with Some (Json.Str s) -> s | _ -> ""
+  in
+  match Json.member "reason" j with
+  | Some (Json.Str "enclosure_diverged") -> Enclosure_diverged (detail ())
+  | Some (Json.Str "budget_exceeded") -> (
+      match Json.member "kind" j with
+      | Some (Json.Str k) -> (
+          match budget_kind_of_string k with
+          | Some kind -> Budget_exceeded kind
+          | None -> fail "Failure.of_json: unknown budget kind %S" k)
+      | _ -> fail "Failure.of_json: budget_exceeded without kind")
+  | Some (Json.Str "numeric") -> Numeric (detail ())
+  | Some (Json.Str "worker_crashed") -> Worker_crashed (detail ())
+  | Some (Json.Str r) -> fail "Failure.of_json: unknown reason %S" r
+  | _ -> fail "Failure.of_json: not a failure object"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,41 @@
+(** The structured failure taxonomy: every way a verification work item
+    can fail to produce a verdict, as data rather than as an escaping
+    exception.  A cell whose analysis fails degrades to an [Unknown]
+    verdict carrying one of these reasons; sibling cells are unaffected.
+
+    The taxonomy is deliberately closed (four constructors): downstream
+    consumers — journals, reports, refinement policies — must handle
+    every case, and anything unrecognised is folded into
+    {!Worker_crashed} by the {!Firewall}. *)
+
+type budget_kind =
+  | Deadline  (** per-cell wall-clock deadline expired *)
+  | Ode_steps  (** validated-integration sub-step budget exhausted *)
+  | Symbolic_states  (** symbolic-state count exceeded its cap *)
+
+type t =
+  | Enclosure_diverged of string
+      (** the validated integrator found no contracting a-priori
+          enclosure (e.g. [Apriori.Enclosure_failure]) *)
+  | Budget_exceeded of budget_kind
+  | Numeric of string
+      (** numeric garbage: NaN bounds, empty interval meet, division by
+          an interval containing zero *)
+  | Worker_crashed of string
+      (** an unclassified exception; the payload is its rendering *)
+
+val budget_kind_to_string : budget_kind -> string
+val budget_kind_of_string : string -> budget_kind option
+
+val to_string : t -> string
+(** One-line human rendering, e.g.
+    ["enclosure_diverged: no contracting enclosure after 30 ..."]. *)
+
+val to_json : t -> Nncs_obs.Json.t
+(** [{"reason":R}] plus a ["detail"] or ["kind"] field; inverse of
+    {!of_json}. *)
+
+val of_json : Nncs_obs.Json.t -> t
+(** Raises [Nncs_obs.Json.Parse_error] on malformed input. *)
+
+val equal : t -> t -> bool

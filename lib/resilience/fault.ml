@@ -1,0 +1,54 @@
+type fault = {
+  site : string;
+  key : string option;
+  make_exn : unit -> exn;
+  mutable remaining : int;  (* < 0 = unlimited *)
+}
+
+(* [count] mirrors the list length so [trigger] can bail with a single
+   atomic load when nothing is armed (the common, production case). *)
+let count = Atomic.make 0
+let mutex = Mutex.create ()
+let faults : fault list ref = ref []
+
+let with_lock f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let arm ~site ?key ?(times = -1) make_exn =
+  if times = 0 then invalid_arg "Fault.arm: times must be non-zero";
+  with_lock (fun () ->
+      faults := { site; key; make_exn; remaining = times } :: !faults;
+      Atomic.set count (List.length !faults))
+
+let reset () =
+  with_lock (fun () ->
+      faults := [];
+      Atomic.set count 0)
+
+let armed () = Atomic.get count > 0
+
+let trigger ?key site =
+  if Atomic.get count > 0 then begin
+    let fired =
+      with_lock (fun () ->
+          match
+            List.find_opt
+              (fun f ->
+                f.site = site
+                && (match f.key with None -> true | Some k -> Some k = key))
+              !faults
+          with
+          | None -> None
+          | Some f ->
+              if f.remaining > 0 then begin
+                f.remaining <- f.remaining - 1;
+                if f.remaining = 0 then begin
+                  faults := List.filter (fun g -> g != f) !faults;
+                  Atomic.set count (List.length !faults)
+                end
+              end;
+              Some (f.make_exn ()))
+    in
+    match fired with None -> () | Some e -> raise e
+  end

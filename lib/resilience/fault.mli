@@ -1,0 +1,29 @@
+(** Fault injection for resilience testing.
+
+    Pipeline code places named trigger points ([Fault.trigger "site"]);
+    tests arm an exception at a site and the next matching trigger
+    raises it, exercising the degradation ladder, the per-cell firewall
+    and the worker crash recovery without contriving pathological
+    inputs.
+
+    Disarmed cost is one atomic load and a branch, so trigger points are
+    safe in hot loops.  The registry is global and mutex-protected:
+    worker domains see faults armed by the main domain.  Production code
+    never arms anything. *)
+
+val arm : site:string -> ?key:string -> ?times:int -> (unit -> exn) -> unit
+(** Arm [site]: the next {!trigger} on that site raises the built
+    exception.  With [?key], only triggers carrying the same key fire
+    (e.g. the index of one cell in a partition).  [times] bounds how
+    often the fault fires before disarming itself (default: unlimited).
+    Arming the same site again stacks an additional fault. *)
+
+val reset : unit -> unit
+(** Disarm everything.  Tests must call this in a [finally]. *)
+
+val armed : unit -> bool
+(** Any fault currently armed? *)
+
+val trigger : ?key:string -> string -> unit
+(** Raise the armed exception if [site] (and key, when the armed fault
+    has one) matches; no-op otherwise. *)

@@ -1,0 +1,9 @@
+let fatal = function Out_of_memory | Sys.Break -> true | _ -> false
+
+let protect ~classify f =
+  try Ok (f ()) with
+  | Budget.Exhausted kind -> Error (Failure.Budget_exceeded kind)
+  | e when not (fatal e) -> (
+      match classify e with
+      | Some failure -> Error failure
+      | None -> Error (Failure.Worker_crashed (Printexc.to_string e)))

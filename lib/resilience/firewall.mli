@@ -1,0 +1,20 @@
+(** The per-work-item exception firewall.
+
+    [protect ~classify f] runs [f] and converts any escaping exception
+    into a structured {!Failure.t}: budget exhaustion maps to
+    [Budget_exceeded], [classify] maps domain exceptions it recognises
+    (enclosure failures, numeric errors, ...), and anything else becomes
+    [Worker_crashed] with the exception's rendering — so one poisoned
+    work item yields an [Unknown] verdict instead of killing the run.
+
+    Genuinely fatal conditions ([Out_of_memory], [Sys.Break]) are
+    re-raised: converting them to a verdict would mask resource
+    exhaustion or swallow an interrupt. *)
+
+val fatal : exn -> bool
+(** Exceptions the firewall refuses to absorb. *)
+
+val protect :
+  classify:(exn -> Failure.t option) ->
+  (unit -> 'a) ->
+  ('a, Failure.t) result

@@ -1,0 +1,54 @@
+module Json = Nncs_obs.Json
+
+type writer = { oc : out_channel; mutex : Mutex.t }
+
+let create ?(append = false) path =
+  let flags =
+    if append then [ Open_wronly; Open_creat; Open_append ]
+    else [ Open_wronly; Open_creat; Open_trunc ]
+  in
+  { oc = open_out_gen flags 0o644 path; mutex = Mutex.create () }
+
+let write w j =
+  Mutex.lock w.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.mutex)
+    (fun () ->
+      output_string w.oc (Json.to_string j);
+      output_char w.oc '\n';
+      flush w.oc)
+
+let close w = close_out w.oc
+
+let with_writer ?append path f =
+  let w = create ?append path in
+  Fun.protect ~finally:(fun () -> close w) (fun () -> f w)
+
+let load path =
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line ic :: !acc
+           done
+         with End_of_file -> ());
+        List.rev !acc)
+  in
+  let lines =
+    (* blank tail = the newline of the last complete record *)
+    match List.rev lines with
+    | l :: rest when String.trim l = "" -> List.rev rest
+    | _ -> lines
+  in
+  let n = List.length lines in
+  List.mapi (fun i l -> (i, l)) lines
+  |> List.filter_map (fun (i, l) ->
+         match Json.of_string l with
+         | j -> Some j
+         | exception Json.Parse_error _ when i = n - 1 ->
+             (* the line being written when the run died *)
+             None)

@@ -1,0 +1,27 @@
+(** Append-only JSONL journals for checkpoint/resume.
+
+    A journal is a file of one JSON object per line, appended and
+    flushed as each work item completes, so an interrupted run loses at
+    most the line being written.  {!load} tolerates exactly that: a
+    truncated or malformed {e final} line is dropped (the crash
+    artifact), while corruption elsewhere raises. *)
+
+type writer
+
+val create : ?append:bool -> string -> writer
+(** Open [path] for journaling; truncates unless [append] (default
+    false).  Writes are mutex-protected: worker domains may append
+    concurrently. *)
+
+val write : writer -> Nncs_obs.Json.t -> unit
+(** Serialize on one line and flush. *)
+
+val close : writer -> unit
+
+val with_writer : ?append:bool -> string -> (writer -> 'a) -> 'a
+
+val load : string -> Nncs_obs.Json.t list
+(** Parse every line of [path].  A malformed final line is silently
+    dropped; a malformed line anywhere else raises
+    [Nncs_obs.Json.Parse_error].  Raises [Sys_error] if the file cannot
+    be read. *)

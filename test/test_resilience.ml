@@ -1,0 +1,460 @@
+(* Fault-injection coverage of the resilience subsystem: numeric guards,
+   per-cell budgets, the graceful-degradation ladder, the per-cell
+   firewall in partition runs, worker-domain crash recovery, and the
+   verdict journal with resume.
+
+   Every test that arms a fault disarms it in a [finally]: the registry
+   is global and a leak would poison later tests. *)
+
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module E = Nncs_ode.Expr
+module Net = Nncs_nn.Network
+module Act = Nncs_nn.Activation
+module Mat = Nncs_linalg.Mat
+module Command = Nncs.Command
+module Symstate = Nncs.Symstate
+module Spec = Nncs.Spec
+module Controller = Nncs.Controller
+module System = Nncs.System
+module Verify = Nncs.Verify
+module Reach = Nncs.Reach
+module Symset = Nncs.Symset
+module Partition = Nncs.Partition
+module F = Nncs_resilience.Failure
+module Budget = Nncs_resilience.Budget
+module Fault = Nncs_resilience.Fault
+module Firewall = Nncs_resilience.Firewall
+module Journal = Nncs_resilience.Journal
+module Json = Nncs_obs.Json
+
+let check = Alcotest.(check bool)
+
+let with_faults f = Fun.protect ~finally:Fault.reset f
+
+(* the "homing" loop of test_core/test_verify: x' = u, u = -1 above 1 *)
+
+let homing_commands = Command.make [| [| -1.0 |]; [| -0.5 |] |]
+
+let homing_network () =
+  let output =
+    {
+      Net.weights = Mat.init 2 1 (fun i _ -> [| -1.0; 1.0 |].(i));
+      biases = [| 1.0; -1.0 |];
+      activation = Act.Linear;
+    }
+  in
+  Net.make ~input_dim:1 [| output |]
+
+let homing_system () =
+  let controller =
+    Controller.make ~period:0.5 ~commands:homing_commands
+      ~networks:[| homing_network () |]
+      ~select:(fun _ -> 0)
+      ~pre:Controller.identity_pre ~pre_abs:Controller.identity_pre_abs
+      ~post:Controller.argmin_post ~post_abs:Controller.argmin_post_abs ()
+  in
+  System.make ~plant:(Nncs_ode.Ode.make ~dim:1 ~input_dim:1 [| E.input 0 |])
+    ~controller
+    ~erroneous:(Spec.coord_gt ~name:"blowup" ~dim:0 ~bound:4.0)
+    ~target:(Spec.coord_lt ~name:"home" ~dim:0 ~bound:0.2)
+    ~horizon_steps:10
+
+let grid n =
+  Partition.with_command 0
+    (Partition.grid (B.of_bounds [| (1.0, 2.0) |]) ~cells:[| n |])
+
+let one_cell () = List.hd (grid 1)
+
+let config ?(limits = Budget.unlimited) ?(degrade = true) ?(max_depth = 0)
+    ?(workers = 1) () =
+  {
+    Verify.default_config with
+    strategy = Verify.All_dims [ 0 ];
+    max_depth;
+    workers;
+    limits;
+    degrade;
+  }
+
+let sole_leaf (r : Verify.cell_report) =
+  match r.Verify.leaves with
+  | [ l ] -> l
+  | ls -> Alcotest.failf "expected one leaf, got %d" (List.length ls)
+
+let enclosure_fault () = Nncs_ode.Apriori.Enclosure_failure "injected"
+let numeric_fault () = I.Numeric_error "injected NaN"
+
+(* ----- numeric guards ----- *)
+
+let raises_numeric f =
+  try
+    ignore (f ());
+    false
+  with I.Numeric_error _ -> true
+
+let test_numeric_guards () =
+  check "make NaN lo" true (raises_numeric (fun () -> I.make Float.nan 1.0));
+  check "make NaN hi" true (raises_numeric (fun () -> I.make 0.0 Float.nan));
+  check "of_float NaN" true (raises_numeric (fun () -> I.of_float Float.nan));
+  check "inflate NaN" true
+    (raises_numeric (fun () -> I.inflate (I.make 0.0 1.0) Float.nan));
+  check "inflate infinity" true
+    (raises_numeric (fun () -> I.inflate (I.make 0.0 1.0) Float.infinity));
+  check "box of_bounds NaN" true
+    (raises_numeric (fun () -> B.of_bounds [| (0.0, 1.0); (Float.nan, 2.0) |]));
+  check "box of_point NaN" true
+    (raises_numeric (fun () -> B.of_point [| Float.nan |]));
+  check "box inflate infinite radius" true
+    (raises_numeric (fun () ->
+         B.inflate (B.of_bounds [| (0.0, 1.0) |]) Float.infinity));
+  (* infinite bounds are legitimate (unbounded enclosures); only NaN is
+     garbage *)
+  check "infinite bounds accepted" true
+    (I.lo (I.make Float.neg_infinity Float.infinity) = Float.neg_infinity);
+  (* negative-eps misuse still reports Invalid_argument, not Numeric *)
+  check "negative eps stays invalid_arg" true
+    (try
+       ignore (I.inflate (I.make 0.0 1.0) (-1.0));
+       false
+     with Invalid_argument _ -> true)
+
+(* ----- the firewall ----- *)
+
+let test_firewall () =
+  let classify = function
+    | Nncs_ode.Apriori.Enclosure_failure m -> Some (F.Enclosure_diverged m)
+    | _ -> None
+  in
+  check "ok passes through" true
+    (Firewall.protect ~classify (fun () -> 42) = Ok 42);
+  check "classified exception" true
+    (Firewall.protect ~classify (fun () -> raise (enclosure_fault ()))
+    = Error (F.Enclosure_diverged "injected"));
+  check "budget exhaustion" true
+    (Firewall.protect ~classify (fun () -> raise (Budget.Exhausted F.Deadline))
+    = Error (F.Budget_exceeded F.Deadline));
+  check "unclassified becomes Worker_crashed" true
+    (match Firewall.protect ~classify (fun () -> failwith "boom") with
+    | Error (F.Worker_crashed _) -> true
+    | _ -> false);
+  check "fatal re-raised" true
+    (try
+       ignore (Firewall.protect ~classify (fun () -> raise Out_of_memory));
+       false
+     with Out_of_memory -> true)
+
+(* ----- budgets ----- *)
+
+let failed_with (l : Verify.leaf) f =
+  match l.Verify.result with
+  | Verify.Failed g -> F.equal f g
+  | Verify.Completed _ -> false
+
+let test_budget_deadline () =
+  let sys = homing_system () in
+  let limits = { Budget.unlimited with Budget.deadline_s = Some 0.0 } in
+  let r = Verify.verify_cell ~config:(config ~limits ()) sys (one_cell ()) in
+  let l = sole_leaf r in
+  check "leaf failed with expired deadline" true
+    (failed_with l (F.Budget_exceeded F.Deadline));
+  check "budget short-circuits the ladder" true (l.Verify.rungs = [ "base" ]);
+  check "nothing proved" true (r.Verify.proved_fraction = 0.0)
+
+let test_budget_ode_steps () =
+  let sys = homing_system () in
+  (* reach uses 10 sub-steps per control step: a 5-step budget dies on
+     the first control step *)
+  let limits = { Budget.unlimited with Budget.max_ode_steps = Some 5 } in
+  let r = Verify.verify_cell ~config:(config ~limits ()) sys (one_cell ()) in
+  check "ode-step budget fires" true
+    (failed_with (sole_leaf r) (F.Budget_exceeded F.Ode_steps))
+
+let test_budget_symstates () =
+  let sys = homing_system () in
+  let limits = { Budget.unlimited with Budget.max_symstates = Some 0 } in
+  let r = Verify.verify_cell ~config:(config ~limits ()) sys (one_cell ()) in
+  check "symstate budget fires" true
+    (failed_with (sole_leaf r) (F.Budget_exceeded F.Symbolic_states))
+
+let test_budget_stops_refinement () =
+  (* out of budget => the failed leaf must NOT be split: splitting
+     multiplies work for a cell that has none left *)
+  let sys = homing_system () in
+  let limits = { Budget.unlimited with Budget.deadline_s = Some 0.0 } in
+  let r =
+    Verify.verify_cell ~config:(config ~limits ~max_depth:2 ()) sys (one_cell ())
+  in
+  Alcotest.(check int) "single leaf despite depth budget" 1
+    (List.length r.Verify.leaves)
+
+(* ----- the degradation ladder ----- *)
+
+let test_ladder_halved_step_recovers () =
+  with_faults (fun () ->
+      let sys = homing_system () in
+      Fault.arm ~site:"reach.step" ~times:1 enclosure_fault;
+      let r = Verify.verify_cell ~config:(config ()) sys (one_cell ()) in
+      let l = sole_leaf r in
+      check "recovered on retry" true l.Verify.proved;
+      Alcotest.(check (list string))
+        "walked one rung" [ "base"; "halved_step" ] l.Verify.rungs)
+
+let test_ladder_interval_fallback () =
+  with_faults (fun () ->
+      let sys = homing_system () in
+      Fault.arm ~site:"reach.step" ~times:2 enclosure_fault;
+      let r = Verify.verify_cell ~config:(config ()) sys (one_cell ()) in
+      let l = sole_leaf r in
+      check "recovered on interval domain" true l.Verify.proved;
+      Alcotest.(check (list string))
+        "walked the whole ladder"
+        [ "base"; "halved_step"; "interval_domain" ]
+        l.Verify.rungs)
+
+let test_ladder_exhausted_is_unknown () =
+  with_faults (fun () ->
+      let sys = homing_system () in
+      Fault.arm ~site:"reach.step" enclosure_fault;
+      let r = Verify.verify_cell ~config:(config ()) sys (one_cell ()) in
+      let l = sole_leaf r in
+      check "unknown with the diverged reason" true
+        (failed_with l (F.Enclosure_diverged "injected"));
+      Alcotest.(check (list string))
+        "every rung attempted"
+        [ "base"; "halved_step"; "interval_domain" ]
+        l.Verify.rungs)
+
+let test_no_degrade_single_attempt () =
+  with_faults (fun () ->
+      let sys = homing_system () in
+      Fault.arm ~site:"reach.step" ~times:1 enclosure_fault;
+      let r =
+        Verify.verify_cell ~config:(config ~degrade:false ()) sys (one_cell ())
+      in
+      let l = sole_leaf r in
+      check "no retry without degrade" true
+        (failed_with l (F.Enclosure_diverged "injected"));
+      Alcotest.(check (list string)) "one rung only" [ "base" ] l.Verify.rungs)
+
+let test_refinement_recovers_failed_leaf () =
+  (* a failed leaf with depth and budget left is split like an unproved
+     one; the children run with the fault exhausted and prove the cell *)
+  with_faults (fun () ->
+      let sys = homing_system () in
+      Fault.arm ~site:"reach.step" ~times:1 enclosure_fault;
+      let r =
+        Verify.verify_cell
+          ~config:(config ~degrade:false ~max_depth:1 ())
+          sys (one_cell ())
+      in
+      Alcotest.(check int) "two child leaves" 2 (List.length r.Verify.leaves);
+      Alcotest.(check (float 1e-12)) "fully proved" 1.0 r.Verify.proved_fraction)
+
+let test_nan_dynamics_is_numeric () =
+  with_faults (fun () ->
+      let sys = homing_system () in
+      Fault.arm ~site:"ode.simulate" numeric_fault;
+      let r = Verify.verify_cell ~config:(config ()) sys (one_cell ()) in
+      check "NaN surfaces as a Numeric failure" true
+        (failed_with (sole_leaf r) (F.Numeric "injected NaN")))
+
+(* ----- acceptance: one poisoned cell in a partition ----- *)
+
+let test_partition_isolates_poisoned_cell () =
+  with_faults (fun () ->
+      let sys = homing_system () in
+      Fault.arm ~site:"verify.cell" ~key:"1" enclosure_fault;
+      let report = Verify.verify_partition ~config:(config ()) sys (grid 4) in
+      Alcotest.(check int) "all cells reported" 4 report.Verify.total_cells;
+      Alcotest.(check int) "three proved" 3 report.Verify.proved_cells;
+      Alcotest.(check int) "one unknown" 1 report.Verify.unknown_cells;
+      Alcotest.(check (float 1e-9)) "coverage 75%" 75.0 report.Verify.coverage;
+      List.iteri
+        (fun i (c : Verify.cell_report) ->
+          Alcotest.(check int) "input order" i c.Verify.index;
+          if i = 1 then
+            check "poisoned cell diverged" true
+              (failed_with (sole_leaf c) (F.Enclosure_diverged "injected"))
+          else
+            Alcotest.(check (float 1e-12))
+              "sibling proved" 1.0 c.Verify.proved_fraction)
+        report.Verify.cells)
+
+(* ----- worker-domain crash recovery ----- *)
+
+let test_worker_crash_requeues () =
+  with_faults (fun () ->
+      let sys = homing_system () in
+      (* Sys.Break is fatal: the firewall re-raises it, the worker domain
+         dies, and the re-queue sweep must still complete every cell
+         (the fault is one-shot, so the retry succeeds) *)
+      Fault.arm ~site:"verify.cell" ~key:"2" ~times:1 (fun () -> Sys.Break);
+      let report =
+        Verify.verify_partition ~config:(config ~workers:3 ()) sys (grid 6)
+      in
+      Alcotest.(check int) "all cells reported" 6 report.Verify.total_cells;
+      Alcotest.(check int) "all proved after recovery" 6
+        report.Verify.proved_cells;
+      Alcotest.(check (float 1e-9)) "full coverage" 100.0 report.Verify.coverage)
+
+(* ----- failure taxonomy serialization ----- *)
+
+let test_failure_json_roundtrip () =
+  let cases =
+    [
+      F.Enclosure_diverged "no contracting enclosure";
+      F.Budget_exceeded F.Deadline;
+      F.Budget_exceeded F.Ode_steps;
+      F.Budget_exceeded F.Symbolic_states;
+      F.Numeric "NaN bound";
+      F.Worker_crashed "Stack_overflow";
+    ]
+  in
+  List.iter
+    (fun f ->
+      check (F.to_string f) true
+        (F.equal f (F.of_json (Json.of_string (Json.to_string (F.to_json f))))))
+    cases
+
+(* ----- Reach.run: early abort returns as data ----- *)
+
+let test_reach_run_error_contact () =
+  let sys = homing_system () in
+  (* the initial box already overlaps E (x > 4): the early-abort
+     Error_contact signal must come back as a Reached_error verdict, not
+     as an exception *)
+  let bad = Symstate.make (B.of_bounds [| (4.5, 5.0) |]) 0 in
+  match Reach.run sys (Symset.of_list [ bad ]) with
+  | Ok r -> (
+      match r.Reach.outcome with
+      | Reach.Reached_error _ -> ()
+      | _ -> Alcotest.fail "expected Reached_error")
+  | Error f -> Alcotest.failf "expected a verdict, got %s" (F.to_string f)
+
+(* ----- journal round-trip and resume ----- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "nncs_journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let run_journaled ~path ?completed sys cells =
+  Journal.with_writer path (fun w ->
+      Journal.write w (Verify.journal_meta ~total:(List.length cells));
+      Verify.verify_partition ~config:(config ())
+        ~on_cell:(fun c -> Journal.write w (Verify.cell_report_to_json c))
+        ?completed sys cells)
+
+let test_journal_roundtrip () =
+  with_temp_journal (fun path ->
+      let sys = homing_system () in
+      let cells = grid 4 in
+      let report = run_journaled ~path sys cells in
+      let total, loaded = Verify.load_journal path in
+      Alcotest.(check (option int)) "meta total" (Some 4) total;
+      Alcotest.(check int) "all cells journaled" 4 (List.length loaded);
+      List.iter2
+        (fun (a : Verify.cell_report) (b : Verify.cell_report) ->
+          Alcotest.(check int) "index" a.Verify.index b.Verify.index;
+          Alcotest.(check (float 0.0))
+            "proved_fraction round-trips exactly" a.Verify.proved_fraction
+            b.Verify.proved_fraction;
+          List.iter2
+            (fun (x : Verify.leaf) (y : Verify.leaf) ->
+              check "state round-trips exactly" true
+                (B.equal x.Verify.state.Symstate.box y.Verify.state.Symstate.box);
+              check "result round-trips" true
+                (x.Verify.proved = y.Verify.proved
+                && x.Verify.rungs = y.Verify.rungs))
+            a.Verify.leaves b.Verify.leaves)
+        report.Verify.cells loaded)
+
+let test_journal_resume_skips_completed () =
+  with_temp_journal (fun path ->
+      with_faults (fun () ->
+          let sys = homing_system () in
+          let cells = grid 4 in
+          let full = run_journaled ~path sys cells in
+          let _, loaded = Verify.load_journal path in
+          let completed =
+            List.filter (fun (c : Verify.cell_report) -> c.Verify.index < 2)
+              loaded
+          in
+          (* a fault on cell 0 proves resume does not recompute it *)
+          Fault.arm ~site:"verify.cell" ~key:"0" enclosure_fault;
+          let resumed =
+            Verify.verify_partition ~config:(config ()) ~completed sys cells
+          in
+          Alcotest.(check (float 1e-9))
+            "same coverage as the uninterrupted run" full.Verify.coverage
+            resumed.Verify.coverage;
+          Alcotest.(check int) "no unknown cells" 0 resumed.Verify.unknown_cells;
+          check "completed cell 0 was not re-run" true (Fault.armed ())))
+
+let test_journal_tolerates_truncated_tail () =
+  with_temp_journal (fun path ->
+      let sys = homing_system () in
+      ignore (run_journaled ~path sys (grid 3));
+      (* simulate a crash mid-write: chop the final line in half *)
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      let cut = String.length contents - 40 in
+      let oc = open_out_bin path in
+      output_string oc (String.sub contents 0 cut);
+      close_out oc;
+      let total, loaded = Verify.load_journal path in
+      Alcotest.(check (option int)) "meta survives" (Some 3) total;
+      Alcotest.(check int) "only the torn record is lost" 2
+        (List.length loaded))
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "guards",
+        [
+          Alcotest.test_case "numeric guards" `Quick test_numeric_guards;
+          Alcotest.test_case "firewall" `Quick test_firewall;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+          Alcotest.test_case "ode steps" `Quick test_budget_ode_steps;
+          Alcotest.test_case "symbolic states" `Quick test_budget_symstates;
+          Alcotest.test_case "stops refinement" `Quick
+            test_budget_stops_refinement;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "halved step recovers" `Quick
+            test_ladder_halved_step_recovers;
+          Alcotest.test_case "interval fallback" `Quick
+            test_ladder_interval_fallback;
+          Alcotest.test_case "exhausted is unknown" `Quick
+            test_ladder_exhausted_is_unknown;
+          Alcotest.test_case "degrade off" `Quick test_no_degrade_single_attempt;
+          Alcotest.test_case "refinement recovers failed leaf" `Quick
+            test_refinement_recovers_failed_leaf;
+          Alcotest.test_case "NaN dynamics" `Quick test_nan_dynamics_is_numeric;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "poisoned cell isolated" `Quick
+            test_partition_isolates_poisoned_cell;
+          Alcotest.test_case "worker crash requeued" `Quick
+            test_worker_crash_requeues;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "failure json round-trip" `Quick
+            test_failure_json_roundtrip;
+          Alcotest.test_case "reach run early abort" `Quick
+            test_reach_run_error_contact;
+          Alcotest.test_case "journal round-trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "resume skips completed" `Quick
+            test_journal_resume_skips_completed;
+          Alcotest.test_case "truncated tail tolerated" `Quick
+            test_journal_tolerates_truncated_tail;
+        ] );
+    ]

@@ -103,6 +103,36 @@ let test_parallel_progress_live () =
     (List.init total (fun i -> i + 1))
     (List.sort compare (List.map fst !seen))
 
+let test_parallel_poisoned_cell () =
+  (* a worker raising mid-cell must not disturb its siblings: the
+     parallel run with one poisoned cell agrees with the clean serial
+     run everywhere else, and the poisoned cell degrades to Unknown *)
+  let sys = homing_system () in
+  let cells = grid 8 in
+  let baseline = Verify.verify_partition ~config:(config 1) sys cells in
+  Fun.protect ~finally:Nncs_resilience.Fault.reset (fun () ->
+      Nncs_resilience.Fault.arm ~site:"verify.cell" ~key:"3" (fun () ->
+          Stdlib.Failure "boom");
+      let poisoned = Verify.verify_partition ~config:(config 4) sys cells in
+      Alcotest.(check int)
+        "one unknown cell" 1 poisoned.Verify.unknown_cells;
+      List.iter2
+        (fun (a : Verify.cell_report) (b : Verify.cell_report) ->
+          Alcotest.(check int) "cell order" a.Verify.index b.Verify.index;
+          if b.Verify.index = 3 then
+            check "poisoned cell is Worker_crashed" true
+              (List.exists
+                 (fun l ->
+                   match Verify.leaf_failure l with
+                   | Some (Nncs_resilience.Failure.Worker_crashed _) -> true
+                   | _ -> false)
+                 b.Verify.leaves)
+          else
+            Alcotest.(check (float 0.0))
+              "sibling verdict matches serial" a.Verify.proved_fraction
+              b.Verify.proved_fraction)
+        baseline.Verify.cells poisoned.Verify.cells)
+
 let test_verify_cell_index () =
   let sys = homing_system () in
   let cell = List.hd (grid 1) in
@@ -253,6 +283,8 @@ let () =
             test_parallel_identical;
           Alcotest.test_case "live progress with workers" `Quick
             test_parallel_progress_live;
+          Alcotest.test_case "poisoned cell isolated in parallel" `Quick
+            test_parallel_poisoned_cell;
           Alcotest.test_case "verify_cell ?index" `Quick test_verify_cell_index;
         ] );
       ( "obs",
