@@ -25,11 +25,21 @@ open Nncs
 let section name = Printf.printf "\n===== %s =====\n%!" name
 let now () = Unix.gettimeofday ()
 
+(* --tiny: deliberately under-trained models (CI smoke mode — seconds
+   instead of hours; verdicts are meaningless, shapes are not) *)
+let tiny = ref false
+
 (* networks are shared by most experiments *)
 let networks =
   lazy
-    (let _, nets = T.load_or_train ~dir:"data" () in
-     nets)
+    (if !tiny then
+       let dir =
+         Filename.concat (Filename.get_temp_dir_name ()) "nncs-bench-tiny-nets"
+       in
+       snd
+         (T.load_or_train ~spec:T.tiny_spec
+            ~policy_config:T.tiny_policy_config ~dir ())
+     else snd (T.load_or_train ~dir:"data" ()))
 
 let system () = S.system ~networks:(Lazy.force networks) ()
 
@@ -485,6 +495,127 @@ let e11 () =
                 \ separates not-proved into really-unsafe vs analysis-too-coarse)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E12: controller-abstraction cache - hit rate and speedup             *)
+(* ------------------------------------------------------------------ *)
+
+let cache_out = ref "BENCH_abs_cache.json"
+
+let e12 () =
+  section "E12 / abs cache - F# memoization: hit rate and speedup";
+  (* input splitting (cf. E6's sym+split column) multiplies the per-query
+     F# cost by 2^splits while leaving the ODE cost unchanged — the
+     regime the memo table targets *)
+  let sys = S.system ~networks:(Lazy.force networks) ~nn_splits:2 () in
+  let cells =
+    (* the tiny slice must survive a few control steps — head-on cells of a
+       4-arc partition touch E during the very first flow pipe, before the
+       controller is ever consulted, and would leave the cache cold *)
+    if !tiny then
+      List.map snd (S.initial_cells ~arcs:12 ~headings:4 ~arc_indices:[ 6 ] ())
+    else
+      List.map snd (S.initial_cells ~arcs:12 ~headings:4 ~arc_indices:[ 2; 3 ] ())
+  in
+  (* quantum 0 = exact keys: the cached runs are bitwise-identical to the
+     uncached one, so the verdict-equality gate below is strict (quantized
+     widening is exercised by the soundness tests instead) *)
+  let cache_config = { Nncs_nnabs.Cache.capacity = 65536; quantum = 0.0 } in
+  let config abs_cache =
+    {
+      Verify.default_config with
+      reach = { Reach.default_config with keep_sets = false; abs_cache };
+      strategy = Verify.All_dims [ D.ix; D.iy; D.ipsi ];
+      max_depth = (if !tiny then 0 else 1);
+      (* one worker = the calling domain, so the domain-local cache
+         survives from the cold run into the warm one *)
+      workers = 1;
+    }
+  in
+  (* the verdict signature must be invariant under caching: quantized
+     lookups may widen score boxes, but only towards supersets of the
+     command choices, and on this partition the verdicts must agree
+     leaf for leaf *)
+  let leaf_sig (l : Verify.leaf) =
+    let r =
+      match l.Verify.result with
+      | Verify.Completed Reach.Proved_safe -> "safe"
+      | Verify.Completed (Reach.Reached_error { step }) ->
+          Printf.sprintf "unsafe@%d" step
+      | Verify.Completed Reach.Horizon_exhausted -> "horizon"
+      | Verify.Failed _ -> "failed"
+    in
+    Printf.sprintf "%d:%b:%s" l.Verify.depth l.Verify.proved r
+  in
+  let signature (report : Verify.report) =
+    List.sort compare
+      (List.map
+         (fun (c : Verify.cell_report) ->
+           (c.Verify.index, List.map leaf_sig c.Verify.leaves))
+         report.Verify.cells)
+  in
+  let m_hits = Nncs_obs.Metrics.counter "nnabs.cache_hits" in
+  let m_misses = Nncs_obs.Metrics.counter "nnabs.cache_misses" in
+  let m_evictions = Nncs_obs.Metrics.counter "nnabs.cache_evictions" in
+  let run label abs_cache =
+    let h0 = Nncs_obs.Metrics.value m_hits
+    and m0 = Nncs_obs.Metrics.value m_misses
+    and e0 = Nncs_obs.Metrics.value m_evictions in
+    let t0 = now () in
+    let report = Verify.verify_partition ~config:(config abs_cache) sys cells in
+    let dt = now () -. t0 in
+    let hits = Nncs_obs.Metrics.value m_hits - h0
+    and misses = Nncs_obs.Metrics.value m_misses - m0
+    and evictions = Nncs_obs.Metrics.value m_evictions - e0 in
+    Printf.printf "%-10s %8.2f s   coverage %5.1f%%   hits %7d   misses %7d\n%!"
+      label dt report.Verify.coverage hits misses;
+    (signature report, dt, hits, misses, evictions)
+  in
+  let sig_plain, t_plain, _, _, _ = run "uncached" None in
+  let sig_cold, t_cold, h_cold, m_cold, e_cold = run "cold" (Some cache_config) in
+  let sig_warm, t_warm, h_warm, m_warm, e_warm = run "warm" (Some cache_config) in
+  let verdicts_match = sig_plain = sig_cold && sig_plain = sig_warm in
+  let rate h m =
+    if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+  in
+  let speedup_warm = if t_warm > 0.0 then t_plain /. t_warm else 0.0 in
+  let speedup_cold = if t_cold > 0.0 then t_plain /. t_cold else 0.0 in
+  Printf.printf
+    "verdicts identical: %b   cold hit rate %.1f%%   warm hit rate %.1f%%\n"
+    verdicts_match
+    (100.0 *. rate h_cold m_cold)
+    (100.0 *. rate h_warm m_warm);
+  Printf.printf "speedup: %.2fx cold, %.2fx warm (uncached / cached time)\n"
+    speedup_cold speedup_warm;
+  let module J = Nncs_obs.Json in
+  let json =
+    J.Obj
+      [
+        ("tiny", J.Bool !tiny);
+        ("cells", J.Num (float_of_int (List.length cells)));
+        ("capacity", J.Num (float_of_int cache_config.Nncs_nnabs.Cache.capacity));
+        ("quantum", J.Num cache_config.Nncs_nnabs.Cache.quantum);
+        ("t_uncached_s", J.Num t_plain);
+        ("t_cold_s", J.Num t_cold);
+        ("t_warm_s", J.Num t_warm);
+        ("hits_cold", J.Num (float_of_int h_cold));
+        ("misses_cold", J.Num (float_of_int m_cold));
+        ("evictions_cold", J.Num (float_of_int e_cold));
+        ("hit_rate_cold", J.Num (rate h_cold m_cold));
+        ("hits_warm", J.Num (float_of_int h_warm));
+        ("misses_warm", J.Num (float_of_int m_warm));
+        ("evictions_warm", J.Num (float_of_int e_warm));
+        ("hit_rate_warm", J.Num (rate h_warm m_warm));
+        ("speedup_cold", J.Num speedup_cold);
+        ("speedup_warm", J.Num speedup_warm);
+        ("verdicts_match", J.Bool verdicts_match);
+      ]
+  in
+  let oc = open_out !cache_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "cache report written to %s\n" !cache_out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels behind the experiments      *)
 (* ------------------------------------------------------------------ *)
 
@@ -583,23 +714,20 @@ let write_summary path timings =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let summary_prefix = "--summary=" in
-  let summary =
-    List.find_map
-      (fun a ->
-        if String.length a > String.length summary_prefix
-           && String.sub a 0 (String.length summary_prefix) = summary_prefix
-        then
-          Some
-            (String.sub a (String.length summary_prefix)
-               (String.length a - String.length summary_prefix))
-        else None)
-      args
+  let prefixed prefix a =
+    if String.length a > String.length prefix
+       && String.sub a 0 (String.length prefix) = prefix
+    then Some (String.sub a (String.length prefix) (String.length a - String.length prefix))
+    else None
   in
+  let summary = List.find_map (prefixed "--summary=") args in
+  Option.iter (fun p -> cache_out := p) (List.find_map (prefixed "--cache-out=") args);
+  if List.mem "--tiny" args then tiny := true;
   let args = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
   let all =
     [ ("e1", e1); ("e1b", e1b); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
-      ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11) ]
+      ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+      ("e12", e12) ]
   in
   let want name = args = [] || List.mem name args in
   if List.mem "timing" args then bechamel_suite ()

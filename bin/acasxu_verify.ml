@@ -16,32 +16,14 @@ module Reach = Nncs.Reach
 module Budget = Nncs_resilience.Budget
 module Journal = Nncs_resilience.Journal
 
-(* deliberately under-trained models for CI smoke tests: seconds, not
-   hours, to first verification attempt *)
-let tiny_training_spec =
-  {
-    T.default_spec with
-    T.hidden = [ 8 ];
-    samples = 400;
-    epochs = 2;
-  }
-
-let tiny_policy_config =
-  {
-    P.default_config with
-    P.rho_knots = [| 0.0; 500.0; 1000.0; 2000.0; 4000.0; 6000.0; 8000.0; 9000.0 |];
-    theta_cells = 9;
-    psi_cells = 9;
-    iterations = 10;
-  }
-
 let run dir arcs headings arc_sel gamma msteps order domain nn_splits
-    max_depth workers cell_deadline cell_ode_budget cell_state_budget
-    journal_path resume tiny csv trace quiet =
+    max_depth workers abs_cache abs_cache_quantum cell_deadline
+    cell_ode_budget cell_state_budget journal_path resume tiny csv trace
+    quiet =
   let _, networks =
     if tiny then
-      T.load_or_train ~spec:tiny_training_spec
-        ~policy_config:tiny_policy_config ~dir ()
+      T.load_or_train ~spec:T.tiny_spec ~policy_config:T.tiny_policy_config
+        ~dir ()
     else T.load_or_train ~dir ()
   in
   let domain = Nncs_nnabs.Transformer.domain_of_string domain in
@@ -58,6 +40,14 @@ let run dir arcs headings arc_sel gamma msteps order domain nn_splits
           taylor_order = order;
           gamma;
           keep_sets = false;
+          abs_cache =
+            (if abs_cache <= 0 then None
+             else
+               Some
+                 {
+                   Nncs_nnabs.Cache.capacity = abs_cache;
+                   quantum = abs_cache_quantum;
+                 });
         };
       strategy = Verify.All_dims [ Nncs_acasxu.Defs.ix; Nncs_acasxu.Defs.iy; Nncs_acasxu.Defs.ipsi ];
       max_depth;
@@ -202,6 +192,22 @@ let nn_splits = Arg.(value & opt int 0 & info [ "nn-splits" ] ~doc:"Input bisect
 let max_depth = Arg.(value & opt int 2 & info [ "max-depth" ] ~doc:"Split-refinement depth.")
 let workers = Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Parallel domains.")
 
+let abs_cache =
+  Arg.(
+    value & opt int 0
+    & info [ "abs-cache" ]
+        ~doc:"Per-worker F# memo table capacity (entries); 0 disables \
+              caching and leaves the abstraction bitwise-unchanged.")
+
+let abs_cache_quantum =
+  Arg.(
+    value
+    & opt float Nncs_nnabs.Cache.default_config.Nncs_nnabs.Cache.quantum
+    & info [ "abs-cache-quantum" ]
+        ~doc:"Outward quantization grid of the cache key, in normalised \
+              network-input units; hits return a sound superset of the \
+              exact F# box.  0 caches exact boxes only.")
+
 let cell_deadline =
   Arg.(
     value
@@ -262,8 +268,8 @@ let cmd =
     (Cmd.info "acasxu_verify" ~doc:"Verify the ACAS Xu closed loop by reachability")
     Term.(
       const run $ dir $ arcs $ headings $ arc_sel $ gamma $ msteps $ order
-      $ domain $ nn_splits $ max_depth $ workers $ cell_deadline
-      $ cell_ode_budget $ cell_state_budget $ journal $ resume $ tiny $ csv
-      $ trace $ quiet)
+      $ domain $ nn_splits $ max_depth $ workers $ abs_cache
+      $ abs_cache_quantum $ cell_deadline $ cell_ode_budget
+      $ cell_state_budget $ journal $ resume $ tiny $ csv $ trace $ quiet)
 
 let () = exit (Cmd.eval' cmd)

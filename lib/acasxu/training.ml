@@ -23,6 +23,20 @@ let default_spec =
     seed = 2024;
   }
 
+(* deliberately under-trained models for CI smoke tests: seconds, not
+   hours, to first verification attempt *)
+let tiny_spec = { default_spec with hidden = [ 8 ]; samples = 400; epochs = 2 }
+
+let tiny_policy_config =
+  {
+    Policy.default_config with
+    Policy.rho_knots =
+      [| 0.0; 500.0; 1000.0; 2000.0; 4000.0; 6000.0; 8000.0; 9000.0 |];
+    theta_cells = 9;
+    psi_cells = 9;
+    iterations = 10;
+  }
+
 (* Max heading drift over the horizon (strongest turn rate times tau)
    plus half a worst-case partition cell of slack: wrapped initial
    heading cells recentred into (-pi, pi] can overhang by up to half

@@ -18,6 +18,14 @@ type spec = {
 val default_spec : spec
 (** 3 hidden layers of 32, 20k samples, 40 epochs, Adam 1e-3, seed 2024. *)
 
+val tiny_spec : spec
+(** Deliberately under-trained models for CI smoke tests (one hidden
+    layer of 8, 400 samples, 2 epochs): seconds, not hours, to first
+    verification attempt; verdicts are meaningless. *)
+
+val tiny_policy_config : Policy.config
+(** The matching coarse policy grid for {!tiny_spec} smoke runs. *)
+
 val psi_training_halfwidth : float
 (** Networks are trained for psi in [-w, w]; w exceeds pi by the largest
     drift the ownship can accumulate over the horizon, so wrapped initial

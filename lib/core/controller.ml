@@ -39,14 +39,26 @@ let concrete_step ctrl ~state ~prev_cmd =
     invalid_arg "Controller.concrete_step: post returned an invalid command";
   cmd
 
-let abstract_scores ctrl ~box ~prev_cmd =
-  let net = ctrl.networks.(ctrl.select prev_cmd) in
-  let x = ctrl.pre_abs box in
-  if ctrl.nn_splits = 0 then T.propagate ctrl.domain net x
-  else T.propagate_split ctrl.domain ~splits:ctrl.nn_splits net x
+let domain_tag = function T.Interval -> 0 | T.Symbolic -> 1 | T.Affine -> 2
 
-let abstract_step ctrl ~box ~prev_cmd =
-  let y = abstract_scores ctrl ~box ~prev_cmd in
+let abstract_scores ?cache ctrl ~box ~prev_cmd =
+  let net_idx = ctrl.select prev_cmd in
+  let net = ctrl.networks.(net_idx) in
+  let x = ctrl.pre_abs box in
+  let run b =
+    if ctrl.nn_splits = 0 then T.propagate ctrl.domain net b
+    else T.propagate_split ctrl.domain ~splits:ctrl.nn_splits net b
+  in
+  match cache with
+  | None -> run x
+  | Some c ->
+      (* entries are only shareable between queries that would run the
+         exact same abstraction: domain and split depth go into the key *)
+      let tag = (ctrl.nn_splits * 3) + domain_tag ctrl.domain in
+      Nncs_nnabs.Cache.find_or_compute c ~net_id:net_idx ~cmd:prev_cmd ~tag x run
+
+let abstract_step ?cache ctrl ~box ~prev_cmd =
+  let y = abstract_scores ?cache ctrl ~box ~prev_cmd in
   let cmds = ctrl.post_abs y in
   if cmds = [] then
     invalid_arg "Controller.abstract_step: post_abs returned no command";

@@ -41,14 +41,30 @@ val make :
 val concrete_step : t -> state:float array -> prev_cmd:int -> int
 (** One controller execution: the command index for the next period. *)
 
-val abstract_step : t -> box:Nncs_interval.Box.t -> prev_cmd:int -> int list
+val abstract_step :
+  ?cache:Nncs_nnabs.Cache.t ->
+  t ->
+  box:Nncs_interval.Box.t ->
+  prev_cmd:int ->
+  int list
 (** Sound set of reachable next-command indices from any sampled state in
-    [box] with the given previous command (stage 2 of the procedure). *)
+    [box] with the given previous command (stage 2 of the procedure).
+
+    With [cache], the F# evaluation is memoized per (network, previous
+    command, domain, quantized [Pre#] box); a hit may return a sound
+    superset of the score box (see {!Nncs_nnabs.Cache}), so [post_abs]
+    must be monotone — a wider score box yields a superset command list,
+    as the shipped argmin/argmax abstractions do. *)
 
 val abstract_scores :
-  t -> box:Nncs_interval.Box.t -> prev_cmd:int -> Nncs_interval.Box.t
+  ?cache:Nncs_nnabs.Cache.t ->
+  t ->
+  box:Nncs_interval.Box.t ->
+  prev_cmd:int ->
+  Nncs_interval.Box.t
 (** The intermediate p-box [y] = F#(Pre#(box)) before post-processing —
-    used by the influence-guided splitting heuristic. *)
+    used by the influence-guided splitting heuristic.  [cache] as in
+    {!abstract_step}. *)
 
 (** {1 Ready-made post-processings} *)
 

@@ -16,6 +16,7 @@ type config = {
   gamma : int;
   early_abort : bool;
   keep_sets : bool;
+  abs_cache : Nncs_nnabs.Cache.config option;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     gamma = 5;
     early_abort = true;
     keep_sets = true;
+    abs_cache = None;
   }
 
 type step_record = {
@@ -58,6 +60,10 @@ let analyze ?(config = default_config) ?(budget = Budget.none) sys r0 =
     invalid_arg "Reach.analyze: non-positive integration_steps";
   let ctrl = sys.System.controller in
   let plant = sys.System.plant in
+  (* the F# memo table lives per domain: worker domains of the parallel
+     driver never share it, and a single-domain caller keeps it warm
+     across successive analyses *)
+  let cache = Option.map Nncs_nnabs.Cache.for_domain config.abs_cache in
   let num_commands = Command.size ctrl.Controller.commands in
   let period = ctrl.Controller.period in
   let q = sys.System.horizon_steps in
@@ -120,7 +126,7 @@ let analyze ?(config = default_config) ?(budget = Budget.none) sys r0 =
           Span.with_ "reach.abstract"
             ~attrs:[ ("step", Nncs_obs.Trace.Int j) ]
             (fun () ->
-              Controller.abstract_step ctrl ~box:st.Symstate.box
+              Controller.abstract_step ?cache ctrl ~box:st.Symstate.box
                 ~prev_cmd:st.Symstate.cmd)
         in
         List.iter

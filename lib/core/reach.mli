@@ -16,11 +16,14 @@ type config = {
   gamma : int;  (** Gamma of Algorithm 2 *)
   early_abort : bool;  (** stop at the first contact with E *)
   keep_sets : bool;  (** retain per-step symbolic sets in the result *)
+  abs_cache : Nncs_nnabs.Cache.config option;
+      (** memoize F# per worker domain (see {!Nncs_nnabs.Cache}); [None]
+          leaves the controller abstraction bitwise-unchanged *)
 }
 
 val default_config : config
 (** M = 10 and Gamma = P = 5 (the paper's experimental setup), Taylor
-    order 6, direct scheme, early abort, sets kept. *)
+    order 6, direct scheme, early abort, sets kept, no F# cache. *)
 
 type step_record = {
   step : int;  (** j *)

@@ -31,12 +31,15 @@ let check_feasible ~num_commands ~gamma set =
           (%d); joining cannot reach the threshold (Remark 3)"
          gamma distinct)
 
-let resize ~num_commands ~gamma set =
+let resize_stats ~num_commands ~gamma set =
   if gamma <= 0 then invalid_arg "Resize.resize: non-positive gamma";
-  let rec go set =
-    if Symset.length set <= gamma then set
+  (* feasibility is checked once up front: joins can only shrink the set
+     of distinct commands, so a feasible input stays feasible through
+     every iteration *)
+  if Symset.length set > gamma then check_feasible ~num_commands ~gamma set;
+  let rec go joins set =
+    if Symset.length set <= gamma then (set, joins)
     else begin
-      check_feasible ~num_commands ~gamma set;
       let groups = Symset.group_by_command ~num_commands set in
       (* the two closest states overall necessarily share a command *)
       let best = ref None in
@@ -57,10 +60,13 @@ let resize ~num_commands ~gamma set =
       | Some (_, a, b) ->
           let joined = Symstate.join a b in
           let rest = List.filter (fun st -> st != a && st != b) set in
-          go (joined :: rest)
+          go (joins + 1) (joined :: rest)
     end
   in
-  go set
+  go 0 set
+
+let resize ~num_commands ~gamma set =
+  fst (resize_stats ~num_commands ~gamma set)
 
 let joins_performed ~num_commands ~gamma set =
-  max 0 (Symset.length (resize ~num_commands ~gamma set) |> fun k -> Symset.length set - k)
+  snd (resize_stats ~num_commands ~gamma set)

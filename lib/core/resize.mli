@@ -7,9 +7,16 @@
     soundness. *)
 
 val resize : num_commands:int -> gamma:int -> Symset.t -> Symset.t
-(** Raises [Invalid_argument] when [gamma] is smaller than the number of
-    distinct commands present (Remark 3: two states with different
-    commands cannot be joined). *)
+(** Raises [Invalid_argument] when the set exceeds [gamma] and [gamma]
+    is smaller than the number of distinct commands present (Remark 3:
+    two states with different commands cannot be joined). *)
+
+val resize_stats :
+  num_commands:int -> gamma:int -> Symset.t -> Symset.t * int
+(** The resized set together with the number of joins performed — one
+    pass, where [resize] + [joins_performed] would run the quadratic
+    algorithm twice. *)
 
 val joins_performed : num_commands:int -> gamma:int -> Symset.t -> int
-(** Number of join operations resize would perform (for reporting). *)
+(** Number of join operations resize would perform (for reporting);
+    [snd (resize_stats ...)]. *)

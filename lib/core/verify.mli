@@ -111,9 +111,11 @@ val verify_partition :
 
 val coverage_of_cells : cell_report list -> float
 
-val influence_order : System.t -> Symstate.t -> int list -> int list
+val influence_order :
+  ?cache:Nncs_nnabs.Cache.t -> System.t -> Symstate.t -> int list -> int list
 (** The candidate dimensions sorted from most to least influential (see
-    {!Most_influential}); exposed for tests and diagnostics. *)
+    {!Most_influential}); exposed for tests and diagnostics.  [cache]
+    memoizes the F# probes as in {!Controller.abstract_scores}. *)
 
 (** {1 Journal serialization}
 

@@ -1,0 +1,146 @@
+module B = Nncs_interval.Box
+module I = Nncs_interval.Interval
+module Metrics = Nncs_obs.Metrics
+
+let m_hits = Metrics.counter "nnabs.cache_hits"
+let m_misses = Metrics.counter "nnabs.cache_misses"
+let m_evictions = Metrics.counter "nnabs.cache_evictions"
+
+type config = { capacity : int; quantum : float }
+
+let default_config = { capacity = 4096; quantum = 0.005 }
+
+type key = { net_id : int; cmd : int; tag : int; bounds : (float * float) array }
+
+(* Intrusive doubly-linked LRU list threaded through the entries; the
+   sentinel's [next] is the most recently used entry, its [prev] the
+   next eviction victim. *)
+type entry = {
+  key : key;
+  value : B.t;
+  mutable prev : entry;
+  mutable next : entry;
+}
+
+type t = {
+  config : config;
+  table : (key, entry) Hashtbl.t;
+  sentinel : entry;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create config =
+  if config.capacity <= 0 then invalid_arg "Cache.create: non-positive capacity";
+  if not (Float.is_finite config.quantum) || config.quantum < 0.0 then
+    invalid_arg "Cache.create: quantum must be finite and >= 0";
+  let rec sentinel =
+    {
+      key = { net_id = -1; cmd = -1; tag = 0; bounds = [||] };
+      value = B.of_intervals [| I.zero |];
+      prev = sentinel;
+      next = sentinel;
+    }
+  in
+  {
+    config;
+    table = Hashtbl.create (min config.capacity 1024);
+    sentinel;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink e =
+  e.prev.next <- e.next;
+  e.next.prev <- e.prev
+
+let push_front t e =
+  e.next <- t.sentinel.next;
+  e.prev <- t.sentinel;
+  t.sentinel.next.prev <- e;
+  t.sentinel.next <- e
+
+(* Outward snap of one bound to the grid.  [floor (lo / q) * q] is
+   computed in round-to-nearest, so it can land marginally on the wrong
+   side of [lo]; the correction step keeps the containment invariant.
+   [+. 0.0] normalises -0.0 so structurally equal keys hash equally. *)
+let snap_down q lo =
+  let s = Float.floor (lo /. q) *. q in
+  (if s > lo then s -. q else s) +. 0.0
+
+let snap_up q hi =
+  let s = Float.ceil (hi /. q) *. q in
+  (if s < hi then s +. q else s) +. 0.0
+
+let quantize_bounds quantum box =
+  Array.init (B.dim box) (fun k ->
+      let iv = B.get box k in
+      let lo = I.lo iv and hi = I.hi iv in
+      if quantum <= 0.0 then (lo +. 0.0, hi +. 0.0)
+      else (snap_down quantum lo, snap_up quantum hi))
+
+let quantize quantum box =
+  if quantum <= 0.0 then box else B.of_bounds (quantize_bounds quantum box)
+
+let find_or_compute t ~net_id ~cmd ?(tag = 0) box f =
+  let bounds = quantize_bounds t.config.quantum box in
+  let key = { net_id; cmd; tag; bounds } in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Metrics.incr m_hits;
+      unlink e;
+      push_front t e;
+      e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      Metrics.incr m_misses;
+      let qbox = if t.config.quantum <= 0.0 then box else B.of_bounds bounds in
+      let value = f qbox in
+      if Hashtbl.length t.table >= t.config.capacity then begin
+        let victim = t.sentinel.prev in
+        unlink victim;
+        Hashtbl.remove t.table victim.key;
+        t.evictions <- t.evictions + 1;
+        Metrics.incr m_evictions
+      end;
+      let e = { key; value; prev = t.sentinel; next = t.sentinel } in
+      Hashtbl.replace t.table key e;
+      push_front t e;
+      value
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    size = Hashtbl.length t.table;
+  }
+
+let hit_rate (t : t) =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.sentinel.next <- t.sentinel;
+  t.sentinel.prev <- t.sentinel
+
+(* One cache per domain: worker domains of [Verify.verify_partition]
+   never share mutable state, and a single-domain driver keeps its cache
+   warm across successive [Reach] calls. *)
+let dls_key : (config * t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let for_domain config =
+  let slot = Domain.DLS.get dls_key in
+  match !slot with
+  | Some (c, t) when c = config -> t
+  | _ ->
+      let t = create config in
+      slot := Some (config, t);
+      t

@@ -1,0 +1,71 @@
+(** Memo table for controller-abstraction (F#) results.
+
+    Across a partitioned verification run the same (network, previous
+    command, input box) queries recur constantly — every control step of
+    every cell re-abstracts boxes that earlier steps already saw.  This
+    cache memoizes the output box of an abstract transformer keyed by
+    (network id, command, tag, outward-quantized input box).
+
+    Soundness of quantized lookup: the input box is widened outward onto
+    a grid of pitch [quantum] before both the lookup and the underlying
+    computation, so the stored output encloses [{F(x) | x in qbox}] for
+    the *quantized* box — a superset of the true output for every box
+    that quantizes to the same key.  A hit therefore returns a sound
+    (possibly wider) enclosure; [quantum = 0.0] disables widening and
+    only ever reuses bitwise-identical queries.
+
+    The table is NOT thread-safe; use one instance per worker domain
+    ({!for_domain}).  Hit/miss/eviction totals are additionally
+    published process-wide through [Nncs_obs.Metrics] under
+    [nnabs.cache_hits] / [nnabs.cache_misses] / [nnabs.cache_evictions]. *)
+
+type config = {
+  capacity : int;  (** maximum number of entries; oldest-used evicted *)
+  quantum : float;  (** quantization grid pitch; 0.0 = exact keys *)
+}
+
+val default_config : config
+(** [{ capacity = 4096; quantum = 0.005 }] — the quantum is expressed in
+    the network's (normalised) input units. *)
+
+type t
+
+val create : config -> t
+(** A fresh, empty cache.  Raises [Invalid_argument] on a non-positive
+    capacity or a negative / non-finite quantum. *)
+
+val for_domain : config -> t
+(** The calling domain's cache, created on first use (domain-local
+    storage).  A subsequent call with a different [config] replaces the
+    domain's cache with a fresh one. *)
+
+val find_or_compute :
+  t ->
+  net_id:int ->
+  cmd:int ->
+  ?tag:int ->
+  Nncs_interval.Box.t ->
+  (Nncs_interval.Box.t -> Nncs_interval.Box.t) ->
+  Nncs_interval.Box.t
+(** [find_or_compute t ~net_id ~cmd ~tag box f] returns the cached
+    output for the quantized key if present, else runs [f qbox] on the
+    outward-quantized box, stores and returns the result.  [tag]
+    (default 0) distinguishes otherwise-identical queries that must not
+    share entries — e.g. different abstract domains or split depths. *)
+
+val quantize : float -> Nncs_interval.Box.t -> Nncs_interval.Box.t
+(** The outward-quantized box ([quantum <= 0.0] returns the input
+    unchanged).  Exposed for the soundness tests: the result always
+    contains the argument. *)
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val stats : t -> stats
+(** This instance's totals (the process-wide sums live in
+    [Nncs_obs.Metrics]). *)
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)], 0.0 when empty. *)
+
+val clear : t -> unit
+(** Drop every entry (statistics are kept). *)

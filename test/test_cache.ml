@@ -1,0 +1,232 @@
+(* Controller-abstraction cache: quantized lookups stay sound (hits
+   return supersets of the exact abstraction), the LRU bound holds at
+   capacity, worker domains never share a table, and a cached
+   verification run reports the same verdicts as an uncached one. *)
+
+module I = Nncs_interval.Interval
+module B = Nncs_interval.Box
+module Net = Nncs_nn.Network
+module Act = Nncs_nn.Activation
+module Mat = Nncs_linalg.Mat
+module Rng = Nncs_linalg.Rng
+module T = Nncs_nnabs.Transformer
+module Cache = Nncs_nnabs.Cache
+module E = Nncs_ode.Expr
+module Command = Nncs.Command
+module Spec = Nncs.Spec
+module Controller = Nncs.Controller
+module System = Nncs.System
+module Reach = Nncs.Reach
+module Verify = Nncs.Verify
+module Partition = Nncs.Partition
+
+let check = Alcotest.(check bool)
+
+(* ----- quantization ----- *)
+
+let random_box rng dim w =
+  B.of_bounds
+    (Array.init dim (fun _ ->
+         let c = Rng.uniform rng (-1.0) 1.0 in
+         (c -. w, c +. w)))
+
+let test_quantize_contains () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 200 do
+    let box = random_box rng 4 (Rng.uniform rng 0.0 0.3) in
+    let q = Rng.uniform rng 1e-6 0.1 in
+    let qbox = Cache.quantize q box in
+    check "quantized box contains the original" true (B.subset box qbox);
+    (* idempotent: grid points snap to themselves *)
+    check "quantization is idempotent" true (B.subset qbox (Cache.quantize q qbox))
+  done;
+  let box = random_box rng 3 0.1 in
+  check "quantum 0 is the identity" true (Cache.quantize 0.0 box == box)
+
+(* ----- soundness of cached abstraction under quantization ----- *)
+
+let test_cached_propagation_sound () =
+  let rng = Rng.create 29 in
+  let net = Net.create_mlp ~rng ~layer_sizes:[ 3; 10; 10; 2 ] in
+  let cache = Cache.create { Cache.capacity = 64; quantum = 0.02 } in
+  let f b = T.propagate T.Symbolic net b in
+  (* clustered queries: many boxes snap to the same quantized key, so
+     later ones are served from the cache — every answer must still
+     enclose the exact (uncached) abstraction of the query box *)
+  let centers =
+    Array.init 10 (fun _ -> Array.init 3 (fun _ -> Rng.uniform rng (-0.5) 0.5))
+  in
+  for _ = 1 to 300 do
+    let center = centers.(Rng.int rng (Array.length centers)) in
+    let box =
+      B.of_bounds
+        (Array.map
+           (fun c ->
+             let j = Rng.uniform rng 0.0 0.004 in
+             (c -. 0.01 -. j, c +. 0.01 +. j))
+           center)
+    in
+    let cached = Cache.find_or_compute cache ~net_id:0 ~cmd:0 box f in
+    check "cached result encloses the exact abstraction" true
+      (B.subset (f box) cached)
+  done;
+  let s = Cache.stats cache in
+  check "clustered queries produced hits" true (s.Cache.hits > 0);
+  check "hit rate consistent" true
+    (Float.abs
+       (Cache.hit_rate cache
+       -. (float_of_int s.Cache.hits /. float_of_int (s.Cache.hits + s.Cache.misses)))
+    < 1e-12)
+
+(* ----- LRU eviction at capacity ----- *)
+
+let test_lru_eviction () =
+  let cache = Cache.create { Cache.capacity = 4; quantum = 0.0 } in
+  let box = B.of_bounds [| (0.0, 1.0) |] in
+  let computed = ref 0 in
+  let query cmd =
+    ignore
+      (Cache.find_or_compute cache ~net_id:0 ~cmd box (fun b ->
+           incr computed;
+           b))
+  in
+  List.iter query [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "4 computations fill the table" 4 !computed;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "size at capacity" 4 s.Cache.size;
+  Alcotest.(check int) "no eviction yet" 0 s.Cache.evictions;
+  query 0;
+  (* key 0 is now most recent *)
+  Alcotest.(check int) "hit costs no computation" 4 !computed;
+  query 4;
+  (* evicts the least recently used key, which is 1 *)
+  let s = Cache.stats cache in
+  Alcotest.(check int) "size still bounded" 4 s.Cache.size;
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  query 0;
+  Alcotest.(check int) "survivor 0 still cached" 5 !computed;
+  query 1;
+  Alcotest.(check int) "evicted key 1 recomputed" 6 !computed;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 6 s.Cache.misses;
+  Cache.clear cache;
+  Alcotest.(check int) "clear empties the table" 0 (Cache.stats cache).Cache.size;
+  Alcotest.(check int) "clear keeps statistics" 2 (Cache.stats cache).Cache.hits
+
+let test_tag_separates_entries () =
+  let cache = Cache.create { Cache.capacity = 8; quantum = 0.0 } in
+  let box = B.of_bounds [| (0.0, 1.0) |] in
+  let wide = B.of_bounds [| (-9.0, 9.0) |] in
+  let r0 =
+    Cache.find_or_compute cache ~net_id:0 ~cmd:0 ~tag:0 box (fun b -> b)
+  in
+  let r1 =
+    Cache.find_or_compute cache ~net_id:0 ~cmd:0 ~tag:1 box (fun _ -> wide)
+  in
+  check "tags do not share entries" true (not (B.subset wide r0));
+  check "tag 1 computed its own value" true (B.subset wide r1)
+
+(* ----- per-domain isolation ----- *)
+
+let test_for_domain_isolation () =
+  let cfg = { Cache.capacity = 8; quantum = 0.0 } in
+  let mine = Cache.for_domain cfg in
+  check "same domain, same table" true (Cache.for_domain cfg == mine);
+  let workers =
+    Array.init 3 (fun _ -> Domain.spawn (fun () -> Cache.for_domain cfg))
+  in
+  let tables = Array.map Domain.join workers in
+  Array.iter
+    (fun t -> check "worker table distinct from the caller's" true (t != mine))
+    tables;
+  (* a different config replaces the domain's table *)
+  let bigger = Cache.for_domain { cfg with Cache.capacity = 16 } in
+  check "config change gives a fresh table" true (bigger != mine)
+
+(* ----- cached vs uncached verification verdicts ----- *)
+(* the homing loop of test_verify: x' = u, argmin picks -1 above x = 1 *)
+
+let homing_system () =
+  let commands = Command.make [| [| -1.0 |]; [| -0.5 |] |] in
+  let network =
+    Net.make ~input_dim:1
+      [|
+        {
+          Net.weights = Mat.init 2 1 (fun i _ -> [| -1.0; 1.0 |].(i));
+          biases = [| 1.0; -1.0 |];
+          activation = Act.Linear;
+        };
+      |]
+  in
+  let controller =
+    Controller.make ~period:0.5 ~commands ~networks:[| network |]
+      ~select:(fun _ -> 0)
+      ~pre:Controller.identity_pre ~pre_abs:Controller.identity_pre_abs
+      ~post:Controller.argmin_post ~post_abs:Controller.argmin_post_abs ()
+  in
+  System.make ~plant:(Nncs_ode.Ode.make ~dim:1 ~input_dim:1 [| E.input 0 |])
+    ~controller
+    ~erroneous:(Spec.coord_gt ~name:"blowup" ~dim:0 ~bound:4.0)
+    ~target:(Spec.coord_lt ~name:"home" ~dim:0 ~bound:0.2)
+    ~horizon_steps:10
+
+let config ?abs_cache workers =
+  {
+    Verify.default_config with
+    reach = { Reach.default_config with abs_cache };
+    strategy = Verify.All_dims [ 0 ];
+    workers;
+  }
+
+let leaf_verdicts (r : Verify.report) =
+  List.map
+    (fun (c : Verify.cell_report) ->
+      ( c.Verify.index,
+        List.map
+          (fun (l : Verify.leaf) -> (l.Verify.depth, l.Verify.proved))
+          c.Verify.leaves ))
+    r.Verify.cells
+
+let test_cached_verdicts_identical () =
+  let sys = homing_system () in
+  let cells =
+    Partition.with_command 0
+      (Partition.grid (B.of_bounds [| (1.0, 2.0) |]) ~cells:[| 8 |])
+  in
+  let abs_cache = { Cache.capacity = 1024; quantum = 0.0 } in
+  let plain = Verify.verify_partition ~config:(config 1) sys cells in
+  let cached =
+    Verify.verify_partition ~config:(config ~abs_cache 1) sys cells
+  in
+  (* workers > 1: every domain builds its own table via for_domain *)
+  let parallel =
+    Verify.verify_partition ~config:(config ~abs_cache 4) sys cells
+  in
+  Alcotest.(check (float 0.0))
+    "cached coverage identical" plain.Verify.coverage cached.Verify.coverage;
+  Alcotest.(check (float 0.0))
+    "parallel cached coverage identical" plain.Verify.coverage
+    parallel.Verify.coverage;
+  check "cached leaf verdicts identical" true
+    (leaf_verdicts plain = leaf_verdicts cached);
+  check "parallel cached leaf verdicts identical" true
+    (leaf_verdicts plain = leaf_verdicts parallel)
+
+let () =
+  Alcotest.run "nnabs-cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "quantize contains" `Quick test_quantize_contains;
+          Alcotest.test_case "cached propagation sound" `Quick
+            test_cached_propagation_sound;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "tags separate entries" `Quick
+            test_tag_separates_entries;
+          Alcotest.test_case "per-domain isolation" `Quick
+            test_for_domain_isolation;
+          Alcotest.test_case "cached verdicts identical" `Quick
+            test_cached_verdicts_identical;
+        ] );
+    ]

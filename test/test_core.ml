@@ -156,6 +156,22 @@ let test_resize_joins_closest () =
   check "superset" true
     (List.for_all (fun x -> List.exists (Symstate.subset x) r) s)
 
+let test_resize_stats_counts_joins () =
+  let s =
+    Symset.of_list [ st 0.0 1.0 0; st 1.1 2.0 0; st 8.0 9.0 0; st 0.0 1.0 1 ]
+  in
+  (* 4 states down to gamma 3: exactly one join, and the set returned by
+     resize_stats is the one resize returns *)
+  let r, joins = Resize.resize_stats ~num_commands:2 ~gamma:3 s in
+  Alcotest.(check int) "one join" 1 joins;
+  Alcotest.(check int) "resized to gamma" 3 (Symset.length r);
+  let r2, j2 = Resize.resize_stats ~num_commands:2 ~gamma:3 r in
+  Alcotest.(check int) "already small: no join" 0 j2;
+  Alcotest.(check int) "set unchanged" (Symset.length r) (Symset.length r2);
+  (* the legacy counter agrees with the pair *)
+  Alcotest.(check int) "joins_performed agrees" 1
+    (Resize.joins_performed ~num_commands:2 ~gamma:3 s)
+
 let test_resize_gamma_below_commands () =
   let s = Symset.of_list [ st 0.0 1.0 0; st 2.0 3.0 1 ] in
   check "remark 3 enforced" true
@@ -494,6 +510,8 @@ let () =
       ( "resize",
         [
           Alcotest.test_case "joins closest" `Quick test_resize_joins_closest;
+          Alcotest.test_case "resize_stats counts joins" `Quick
+            test_resize_stats_counts_joins;
           Alcotest.test_case "remark 3" `Quick test_resize_gamma_below_commands;
           QCheck_alcotest.to_alcotest prop_resize_sound;
         ] );

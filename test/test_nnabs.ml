@@ -149,6 +149,29 @@ let test_meet_all_sound_and_tighter () =
         (B.subset meet (T.propagate d net box)))
     [ T.Interval; T.Symbolic; T.Affine ]
 
+let test_thin_box_sound () =
+  (* regression for the inverted-bound case in Symbolic_prop.propagate:
+     on thin and degenerate (zero-width) boxes the concretized lower
+     bound can land above the upper one by accumulated rounding; the
+     result must widen conservatively over both evaluations — the old
+     endpoint swap could exclude the true value *)
+  let rng = Rng.create 41 in
+  for _ = 1 to 40 do
+    let net = random_net rng [ 3; 14; 14; 2 ] in
+    let c = Array.init 3 (fun _ -> Rng.uniform rng (-1.0) 1.0) in
+    let y = Net.eval net c in
+    List.iter
+      (fun w ->
+        let box = B.of_bounds (Array.map (fun x -> (x -. w, x +. w)) c) in
+        let out = T.propagate T.Symbolic net box in
+        for i = 0 to B.dim out - 1 do
+          let iv = B.get out i in
+          check "well-formed output interval" true (I.lo iv <= I.hi iv)
+        done;
+        check "contains the center evaluation" true (B.contains out y))
+      [ 0.0; 1e-15; 1e-9 ]
+  done
+
 let test_output_bounds_shape () =
   let net = fig4_network () in
   let box = B.of_bounds [| (0.0, 1.0); (0.0, 1.0) |] in
@@ -267,6 +290,8 @@ let () =
             test_split_refinement_tightens;
           Alcotest.test_case "meet of domains" `Quick
             test_meet_all_sound_and_tighter;
+          Alcotest.test_case "thin and degenerate boxes" `Quick
+            test_thin_box_sound;
           Alcotest.test_case "output bounds shape" `Quick
             test_output_bounds_shape;
         ] );
