@@ -42,8 +42,7 @@ let concrete_step ctrl ~state ~prev_cmd =
 let domain_tag = function T.Interval -> 0 | T.Symbolic -> 1 | T.Affine -> 2
 
 let abstract_scores ?cache ctrl ~box ~prev_cmd =
-  let net_idx = ctrl.select prev_cmd in
-  let net = ctrl.networks.(net_idx) in
+  let net = ctrl.networks.(ctrl.select prev_cmd) in
   let x = ctrl.pre_abs box in
   let run b =
     if ctrl.nn_splits = 0 then T.propagate ctrl.domain net b
@@ -53,9 +52,14 @@ let abstract_scores ?cache ctrl ~box ~prev_cmd =
   | None -> run x
   | Some c ->
       (* entries are only shareable between queries that would run the
-         exact same abstraction: domain and split depth go into the key *)
+         exact same abstraction: the key carries the network's
+         process-unique uid (never a controller-local index — the
+         domain cache outlives any one controller, and an index would
+         conflate different systems' networks), plus domain and split
+         depth in the tag *)
       let tag = (ctrl.nn_splits * 3) + domain_tag ctrl.domain in
-      Nncs_nnabs.Cache.find_or_compute c ~net_id:net_idx ~cmd:prev_cmd ~tag x run
+      Nncs_nnabs.Cache.find_or_compute c ~net_id:(Net.uid net) ~cmd:prev_cmd ~tag
+        x run
 
 let abstract_step ?cache ctrl ~box ~prev_cmd =
   let y = abstract_scores ?cache ctrl ~box ~prev_cmd in

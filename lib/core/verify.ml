@@ -47,15 +47,22 @@ let default_config =
    along it and measure how wide the abstract score box F#(Pre#(half))
    stays — the dimension whose bisection tightens the scores the most is
    the most influential (a one-step lookahead of the paper's suggested
-   heuristic). *)
-let influence_order ?cache sys (cell : Symstate.t) candidates =
+   heuristic).
+
+   The probes deliberately bypass the abstraction cache: with a
+   quantization grid coarser than a half-box, both halves of a
+   bisection (or a half and its parent) collapse onto the same widened
+   key, every candidate scores identically and the ordering degenerates
+   to an arbitrary one.  Exact uncached scores keep the heuristic
+   discriminating; the probed boxes are transient half-cells that would
+   rarely be re-queried anyway. *)
+let influence_order sys (cell : Symstate.t) candidates =
   let ctrl = sys.System.controller in
   let score dim =
     let l, r = Nncs_interval.Box.bisect cell.Symstate.box dim in
     let width_of half =
       Nncs_interval.Box.max_width
-        (Controller.abstract_scores ?cache ctrl ~box:half
-           ~prev_cmd:cell.Symstate.cmd)
+        (Controller.abstract_scores ctrl ~box:half ~prev_cmd:cell.Symstate.cmd)
     in
     0.5 *. (width_of l +. width_of r)
   in
@@ -66,11 +73,8 @@ let dims_to_split config sys cell =
   match config.strategy with
   | All_dims dims -> dims
   | Most_influential { candidates; take } ->
-      let cache =
-        Option.map Nncs_nnabs.Cache.for_domain config.reach.Reach.abs_cache
-      in
       let take = max 1 (min take (List.length candidates)) in
-      List.filteri (fun i _ -> i < take) (influence_order ?cache sys cell candidates)
+      List.filteri (fun i _ -> i < take) (influence_order sys cell candidates)
 
 type leaf_result =
   | Completed of Reach.outcome

@@ -111,11 +111,12 @@ val verify_partition :
 
 val coverage_of_cells : cell_report list -> float
 
-val influence_order :
-  ?cache:Nncs_nnabs.Cache.t -> System.t -> Symstate.t -> int list -> int list
+val influence_order : System.t -> Symstate.t -> int list -> int list
 (** The candidate dimensions sorted from most to least influential (see
-    {!Most_influential}); exposed for tests and diagnostics.  [cache]
-    memoizes the F# probes as in {!Controller.abstract_scores}. *)
+    {!Most_influential}); exposed for tests and diagnostics.  The F#
+    probes always run uncached: quantized cache hits would widen both
+    halves of a bisection onto the same score box and erase the very
+    differences the ordering measures. *)
 
 (** {1 Journal serialization}
 

@@ -3,7 +3,14 @@ module Vec = Nncs_linalg.Vec
 module Rng = Nncs_linalg.Rng
 
 type layer = { weights : Mat.t; biases : Vec.t; activation : Activation.t }
-type t = { input_dim : int; layers : layer array }
+type t = { input_dim : int; layers : layer array; uid : int }
+
+(* Process-unique identity, atomically assigned so networks built on
+   different domains never collide.  Any construction that could change
+   the computed function gets a fresh uid — caches keyed on it must
+   never conflate two networks with different weights. *)
+let uid_counter = Atomic.make 0
+let fresh_uid () = Atomic.fetch_and_add uid_counter 1
 
 let make ~input_dim layers =
   if Array.length layers = 0 then invalid_arg "Network.make: no layers";
@@ -21,7 +28,7 @@ let make ~input_dim layers =
           (Printf.sprintf "Network.make: layer %d weight/bias size mismatch" idx);
       expected := Mat.rows l.weights)
     layers;
-  { input_dim; layers }
+  { input_dim; layers; uid = fresh_uid () }
 
 let create_mlp ~rng ~layer_sizes =
   match layer_sizes with
@@ -48,6 +55,7 @@ let create_mlp ~rng ~layer_sizes =
       make ~input_dim (Array.of_list layers)
 
 let input_dim net = net.input_dim
+let uid net = net.uid
 
 let output_dim net =
   Mat.rows net.layers.(Array.length net.layers - 1).weights
@@ -86,6 +94,7 @@ let eval_with_preactivations net x =
 let map_parameters net ~f =
   {
     net with
+    uid = fresh_uid ();
     layers =
       Array.map
         (fun l -> { l with weights = Mat.map f l.weights; biases = Vec.map f l.biases })

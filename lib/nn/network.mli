@@ -10,11 +10,23 @@ type layer = {
   activation : Activation.t;
 }
 
-type t = private { input_dim : int; layers : layer array }
+type t = private {
+  input_dim : int;
+  layers : layer array;
+  uid : int;
+      (** process-unique identity, assigned at construction (see {!uid}) *)
+}
 
 val make : input_dim:int -> layer array -> t
 (** Validates the chaining of layer dimensions. Raises
     [Invalid_argument] on mismatch or on an empty layer array. *)
+
+val uid : t -> int
+(** A process-unique identity for this network value, assigned
+    atomically at construction.  Two networks never share a uid — even
+    structurally identical copies get distinct ones — so it is safe to
+    key memo tables on it ({!Nncs_nnabs.Cache} does): a cached result
+    can never be served for a network with different weights. *)
 
 val create_mlp :
   rng:Nncs_linalg.Rng.t -> layer_sizes:int list -> t

@@ -63,16 +63,37 @@ let push_front t e =
   t.sentinel.next <- e
 
 (* Outward snap of one bound to the grid.  [floor (lo / q) * q] is
-   computed in round-to-nearest, so it can land marginally on the wrong
-   side of [lo]; the correction step keeps the containment invariant.
-   [+. 0.0] normalises -0.0 so structurally equal keys hash equally. *)
+   computed in round-to-nearest, so it can land on the wrong side of
+   [lo] — and once |lo| / q approaches 2^52 (or the division overflows)
+   the error can exceed [q], or [q] can fall below one ulp of [s] so a
+   single subtraction no longer moves it.  The correction therefore
+   loops (bounded, since each step either moves [s] or proves it
+   stuck), and any failure to restore containment — non-finite [s],
+   stuck subtraction — falls back to the raw bound, which trivially
+   satisfies the invariant at the price of an unaligned (rarely shared)
+   key.  [+. 0.0] normalises -0.0 so structurally equal keys hash
+   equally. *)
+let max_correction_steps = 4
+
 let snap_down q lo =
-  let s = Float.floor (lo /. q) *. q in
-  (if s > lo then s -. q else s) +. 0.0
+  let s = ref (Float.floor (lo /. q) *. q) in
+  let n = ref 0 in
+  while Float.is_finite !s && !s > lo && !n < max_correction_steps do
+    let s' = !s -. q in
+    if s' < !s then s := s' else n := max_correction_steps;
+    incr n
+  done;
+  (if Float.is_finite !s && !s <= lo then !s else lo) +. 0.0
 
 let snap_up q hi =
-  let s = Float.ceil (hi /. q) *. q in
-  (if s < hi then s +. q else s) +. 0.0
+  let s = ref (Float.ceil (hi /. q) *. q) in
+  let n = ref 0 in
+  while Float.is_finite !s && !s < hi && !n < max_correction_steps do
+    let s' = !s +. q in
+    if s' > !s then s := s' else n := max_correction_steps;
+    incr n
+  done;
+  (if Float.is_finite !s && !s >= hi then !s else hi) +. 0.0
 
 let quantize_bounds quantum box =
   Array.init (B.dim box) (fun k ->

@@ -17,7 +17,17 @@
     The table is NOT thread-safe; use one instance per worker domain
     ({!for_domain}).  Hit/miss/eviction totals are additionally
     published process-wide through [Nncs_obs.Metrics] under
-    [nnabs.cache_hits] / [nnabs.cache_misses] / [nnabs.cache_evictions]. *)
+    [nnabs.cache_hits] / [nnabs.cache_misses] / [nnabs.cache_evictions].
+
+    {b Soundness of the key.} The cache knows nothing about network
+    weights: [net_id] is trusted to identify the function being
+    abstracted.  Because {!for_domain} keeps one table alive across
+    successive analyses — possibly of entirely different systems —
+    [net_id] MUST be a process-unique identity of the network (use
+    [Nncs_nn.Network.uid], as [Controller.abstract_scores] does), never
+    an index that is only meaningful within one controller.  Keying on
+    a local index silently serves one network's abstraction boxes for
+    another's, an unsound result with no warning. *)
 
 type config = {
   capacity : int;  (** maximum number of entries; oldest-used evicted *)
@@ -49,9 +59,12 @@ val find_or_compute :
   Nncs_interval.Box.t
 (** [find_or_compute t ~net_id ~cmd ~tag box f] returns the cached
     output for the quantized key if present, else runs [f qbox] on the
-    outward-quantized box, stores and returns the result.  [tag]
-    (default 0) distinguishes otherwise-identical queries that must not
-    share entries — e.g. different abstract domains or split depths. *)
+    outward-quantized box, stores and returns the result.  [net_id]
+    must uniquely identify the network across the table's whole
+    lifetime — pass [Nncs_nn.Network.uid], not an array index (see the
+    soundness note above).  [tag] (default 0) distinguishes
+    otherwise-identical queries that must not share entries — e.g.
+    different abstract domains or split depths. *)
 
 val quantize : float -> Nncs_interval.Box.t -> Nncs_interval.Box.t
 (** The outward-quantized box ([quantum <= 0.0] returns the input

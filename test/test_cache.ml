@@ -43,6 +43,48 @@ let test_quantize_contains () =
   let box = random_box rng 3 0.1 in
   check "quantum 0 is the identity" true (Cache.quantize 0.0 box == box)
 
+(* Outward snapping must keep containment even where floating-point
+   rounding bites: |bound| / quantum near or past 2^52, quanta below one
+   ulp of the bound, and divisions that overflow to infinity (the
+   implementation falls back to the raw bound there). *)
+let test_quantize_extreme_magnitudes () =
+  let q = 0.005 in
+  List.iter
+    (fun x ->
+      let box = B.of_bounds [| (x, x *. 1.0000001) |] in
+      check
+        (Printf.sprintf "containment at %g" x)
+        true
+        (B.subset box (Cache.quantize q box)))
+    [ 1e15; 4.5e16; 7.3e17; 1e300; Float.max_float /. 2.0 ];
+  List.iter
+    (fun x ->
+      let box = B.of_bounds [| (x *. 1.0000001, x) |] in
+      check
+        (Printf.sprintf "containment at %g" x)
+        true
+        (B.subset box (Cache.quantize q box)))
+    [ -1e15; -4.5e16; -7.3e17; -1e300; -.Float.max_float /. 2.0 ]
+
+let prop_quantize_extreme_sound =
+  QCheck.Test.make ~count:2000
+    ~name:"outward quantization contains the box at any magnitude"
+    QCheck.(
+      pair
+        (pair (float_range (-1.0) 1.0) (int_range 0 300))
+        (pair (int_range (-12) 2) (float_range 0.0 0.5)))
+    (fun ((m, e), (qe, w)) ->
+      let scale = 10.0 ** float_of_int e in
+      let lo = m *. scale in
+      let hi = lo +. (w *. scale) in
+      let q = 10.0 ** float_of_int qe in
+      QCheck.assume (Float.is_finite lo && Float.is_finite hi && lo <= hi);
+      let box = B.of_bounds [| (lo, hi) |] in
+      let qbox = Cache.quantize q box in
+      B.subset box qbox
+      && Float.is_finite (I.lo (B.get qbox 0))
+      && Float.is_finite (I.hi (B.get qbox 0)))
+
 (* ----- soundness of cached abstraction under quantization ----- *)
 
 let test_cached_propagation_sound () =
@@ -126,6 +168,34 @@ let test_tag_separates_entries () =
   in
   check "tags do not share entries" true (not (B.subset wide r0));
   check "tag 1 computed its own value" true (B.subset wide r1)
+
+(* Regression: the key must identify the *network*, not its index
+   inside one controller.  Two systems verified back-to-back in the same
+   process share the domain cache; with index-based keys the second
+   one's queries would hit entries computed from the first one's
+   weights — silently unsound. *)
+let test_shared_cache_distinct_networks () =
+  let rng = Rng.create 17 in
+  let commands = Command.make [| [| 0.0 |]; [| 1.0 |] |] in
+  let ctrl net =
+    Controller.make ~period:1.0 ~commands ~networks:[| net |]
+      ~select:(fun _ -> 0)
+      ~pre:Controller.identity_pre ~pre_abs:Controller.identity_pre_abs
+      ~post:Controller.argmin_post ~post_abs:Controller.argmin_post_abs ()
+  in
+  let net_a = Net.create_mlp ~rng ~layer_sizes:[ 2; 8; 2 ] in
+  let net_b = Net.create_mlp ~rng ~layer_sizes:[ 2; 8; 2 ] in
+  let cache = Cache.create { Cache.capacity = 64; quantum = 0.05 } in
+  let box = B.of_bounds [| (-0.2, 0.2); (-0.1, 0.3) |] in
+  let a = Controller.abstract_scores ~cache (ctrl net_a) ~box ~prev_cmd:0 in
+  let b = Controller.abstract_scores ~cache (ctrl net_b) ~box ~prev_cmd:0 in
+  let qbox = Cache.quantize 0.05 box in
+  check "first network's scores enclose its exact abstraction" true
+    (B.subset (T.propagate T.Symbolic net_a qbox) a);
+  check "second network's scores enclose its exact abstraction" true
+    (B.subset (T.propagate T.Symbolic net_b qbox) b);
+  check "no cross-network hit: both queries computed" true
+    ((Cache.stats cache).Cache.hits = 0)
 
 (* ----- per-domain isolation ----- *)
 
@@ -219,8 +289,13 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "quantize contains" `Quick test_quantize_contains;
+          Alcotest.test_case "quantize extreme magnitudes" `Quick
+            test_quantize_extreme_magnitudes;
+          QCheck_alcotest.to_alcotest prop_quantize_extreme_sound;
           Alcotest.test_case "cached propagation sound" `Quick
             test_cached_propagation_sound;
+          Alcotest.test_case "shared cache, distinct networks" `Quick
+            test_shared_cache_distinct_networks;
           Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
           Alcotest.test_case "tags separate entries" `Quick
             test_tag_separates_entries;

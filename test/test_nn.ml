@@ -56,6 +56,18 @@ let test_make_validation () =
        false
      with Invalid_argument _ -> true)
 
+let test_uid_unique () =
+  let rng = Rng.create 5 in
+  let a = Net.create_mlp ~rng ~layer_sizes:[ 2; 4; 1 ] in
+  let b = Net.create_mlp ~rng ~layer_sizes:[ 2; 4; 1 ] in
+  check "distinct networks, distinct uids" true (Net.uid a <> Net.uid b);
+  check "uid is stable" true (Net.uid a = Net.uid a);
+  (* a parameter transform computes a different function: fresh uid, so
+     a memo table keyed on it can never serve stale results *)
+  let a' = Net.map_parameters a ~f:(fun w -> 2.0 *. w) in
+  check "map_parameters re-stamps the uid" true (Net.uid a' <> Net.uid a);
+  check "copy re-stamps the uid" true (Net.uid (Net.copy a) <> Net.uid a)
+
 let test_relu_kink () =
   let net = fig4_network () in
   (* input making one hidden pre-activation negative *)
@@ -229,6 +241,7 @@ let () =
         [
           Alcotest.test_case "fig4 worked example" `Quick test_fig4_forward;
           Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "uid unique" `Quick test_uid_unique;
           Alcotest.test_case "relu kink" `Quick test_relu_kink;
           Alcotest.test_case "block product" `Quick test_block_product;
         ] );
