@@ -1,0 +1,128 @@
+(* nncs_lint — the repo's soundness & concurrency static analysis.
+
+   Usage:
+     nncs_lint [PATHS...]                     lint (default: lib bin)
+     nncs_lint --baseline lint_baseline.json  warn on baselined findings,
+                                              fail on new P1 findings
+     nncs_lint --update-baseline              rewrite the baseline from
+                                              the current findings
+     nncs_lint --json report.jsonl            machine-readable report
+
+   Exit codes: 0 clean / only baselined or P2 findings; 1 new P1
+   findings (with --strict: any new finding); 2 usage or I/O error. *)
+
+module L = Nncs_lint
+module Json = Nncs_obs.Json
+
+let usage = "nncs_lint [options] [paths]  (default paths: lib bin)"
+
+let () =
+  let baseline_path = ref "" in
+  let update_baseline = ref false in
+  let json_path = ref "" in
+  let strict = ref false in
+  let quiet = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE compare findings against this baseline" );
+      ( "--update-baseline",
+        Arg.Set update_baseline,
+        " rewrite the baseline file from the current findings" );
+      ("--json", Arg.Set_string json_path, "FILE write a JSONL report");
+      ("--strict", Arg.Set strict, " fail on new P2 findings too");
+      ("--quiet", Arg.Set quiet, " only print the summary");
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let roots = if !paths = [] then [ "lib"; "bin" ] else List.rev !paths in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "nncs_lint: no such path %s (run from the repo root)\n"
+          r;
+        exit 2
+      end)
+    roots;
+  let findings = L.Driver.lint_paths roots in
+  let previous =
+    if !baseline_path <> "" && Sys.file_exists !baseline_path then
+      try L.Baseline.load !baseline_path
+      with e ->
+        Printf.eprintf "nncs_lint: cannot read baseline %s: %s\n"
+          !baseline_path (Printexc.to_string e);
+        exit 2
+    else []
+  in
+  if !update_baseline then begin
+    let path =
+      if !baseline_path = "" then "lint_baseline.json" else !baseline_path
+    in
+    let entries = L.Baseline.of_findings ~previous findings in
+    L.Baseline.save path entries;
+    Printf.printf "nncs_lint: wrote %d baseline entries (%d findings) to %s\n"
+      (List.length entries) (List.length findings) path;
+    exit 0
+  end;
+  let classified, stale = L.Baseline.apply previous findings in
+  let new_p1 = ref 0 and new_p2 = ref 0 and baselined = ref 0 in
+  List.iter
+    (fun (f, status) ->
+      match (status : L.Baseline.status) with
+      | L.Baseline.New ->
+          (match L.Finding.severity f.L.Finding.rule with
+          | L.Finding.P1 -> incr new_p1
+          | L.Finding.P2 -> incr new_p2);
+          if not !quiet then
+            Printf.printf "NEW  %s\n" (L.Finding.to_string f)
+      | L.Baseline.Baselined reason ->
+          incr baselined;
+          if not !quiet then
+            Printf.printf "base %s\n       baseline: %s\n"
+              (L.Finding.to_string f)
+              (if reason = "" then "(no reason recorded)" else reason))
+    classified;
+  if (not !quiet) && stale <> [] then
+    List.iter
+      (fun (e : L.Baseline.entry) ->
+        Printf.printf
+          "stale baseline entry (no longer found, remove it): %s x%d\n" e.key
+          e.count)
+      stale;
+  if !json_path <> "" then begin
+    let oc = open_out !json_path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun (f, status) ->
+            let s =
+              match (status : L.Baseline.status) with
+              | L.Baseline.New -> "new"
+              | L.Baseline.Baselined _ -> "baselined"
+            in
+            output_string oc (Json.to_string (L.Finding.to_json ~status:s f));
+            output_char oc '\n')
+          classified;
+        let summary =
+          Json.Obj
+            [
+              ("t", Json.Str "summary");
+              ("tool", Json.Str "nncs_lint");
+              ("new_p1", Json.Num (float_of_int !new_p1));
+              ("new_p2", Json.Num (float_of_int !new_p2));
+              ("baselined", Json.Num (float_of_int !baselined));
+              ("stale", Json.Num (float_of_int (List.length stale)));
+              ("total", Json.Num (float_of_int (List.length classified)));
+            ]
+        in
+        output_string oc (Json.to_string summary);
+        output_char oc '\n')
+  end;
+  Printf.printf
+    "nncs_lint: %d findings (%d new P1, %d new P2, %d baselined, %d stale \
+     baseline entries)\n"
+    (List.length classified) !new_p1 !new_p2 !baselined (List.length stale);
+  if !new_p1 > 0 || (!strict && !new_p2 > 0) then exit 1

@@ -1,6 +1,7 @@
 type advisory = Coc | Weak_left | Weak_right | Strong_left | Strong_right
 
 let advisories = [| Coc; Weak_left; Weak_right; Strong_left; Strong_right |]
+[@@lint.allow "r3-top-mutable read-only advisory table, never written"]
 
 let index = function
   | Coc -> 0

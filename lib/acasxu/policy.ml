@@ -120,7 +120,7 @@ type dest =
    grid; indices are clamped by the caller-provided bounds *)
 let trilinear ~nr ~nt ~np ~get ((ir, tr), (it, tt), (ip, tp)) =
   let g dr dt dp w acc =
-    if w = 0.0 then acc
+    if (w = 0.0) [@lint.fp_exact "exact zero test: skips structurally-zero terms; NaN falls through conservatively"] then acc
     else
       let ir = min (nr - 1) (ir + dr)
       and it = min (nt - 1) (it + dt)

@@ -21,7 +21,7 @@ let of_interval_with sym iv =
   let r =
     Float.max (R.sub_up (I.hi iv) c) (R.sub_up c (I.lo iv))
   in
-  if r = 0.0 then { c; terms = [||]; err = 0.0 }
+  if (r = 0.0) [@lint.fp_exact "exact zero-radius test; NaN radius falls through to the general case"] then { c; terms = [||]; err = 0.0 }
   else { c; terms = [| (sym, r) |]; err = 0.0 }
 
 let of_interval iv = of_interval_with (fresh_symbol ()) iv
@@ -62,7 +62,7 @@ let merge_terms f a b =
      merged sorted array and the accumulated rounding error. *)
   let out = ref [] and err = ref 0.0 and i = ref 0 and j = ref 0 in
   let push s w gap =
-    if w <> 0.0 then out := (s, w) :: !out;
+    if (w <> 0.0) [@lint.fp_exact "exact zero test: skips structurally-zero terms; NaN falls through conservatively"] then out := (s, w) :: !out;
     if gap > 0.0 then err := R.add_up !err gap
   in
   let na = Array.length a and nb = Array.length b in
@@ -107,7 +107,7 @@ let add_const a k =
   { a with c; err = R.add_up a.err cgap }
 
 let scale s a =
-  if s = 0.0 then of_float 0.0
+  if (s = 0.0) [@lint.fp_exact "exact zero test: skips structurally-zero terms; NaN falls through conservatively"] then of_float 0.0
   else
     let gap = ref 0.0 in
     let scale1 w =

@@ -61,7 +61,7 @@ let run_random_descent config rng box consider witness =
           clamp_to_box box
             (Array.mapi
                (fun i v ->
-                 if widths.(i) = 0.0 then v
+                 if (widths.(i) = 0.0) [@lint.fp_exact "exact zero test: skips structurally-zero terms; NaN falls through conservatively"] then v
                  else v +. (sigma *. widths.(i) *. Rng.gaussian rng))
                !current)
         in
@@ -87,7 +87,7 @@ let run_cross_entropy ~population ~elite ~generations rng box consider witness =
              let cand =
                clamp_to_box box
                  (Array.init n (fun i ->
-                      if widths.(i) = 0.0 then !mean.(i)
+                      if (widths.(i) = 0.0) [@lint.fp_exact "exact zero test: skips structurally-zero terms; NaN falls through conservatively"] then !mean.(i)
                       else !mean.(i) +. (!sigma.(i) *. Rng.gaussian rng)))
              in
              (consider cand, cand))

@@ -109,7 +109,10 @@ let analyze ?(config = default_config) ?(budget = Budget.none) sys r0 =
             ~attrs:[ ("step", Nncs_obs.Trace.Int j) ]
             (fun () ->
               Nncs_ode.Simulate.simulate ~scheme:config.scheme plant
-                ~t0:(float_of_int j *. period)
+                ~t0:((float_of_int j *. period)
+                     [@lint.fp_exact
+                       "step-time label: dynamics are enclosed per step \
+                        from exact float endpoints"])
                 ~period ~steps:config.integration_steps
                 ~order:config.taylor_order ~state:st.Symstate.box
                 ~inputs:u_box)

@@ -19,17 +19,14 @@ let nothing =
     contains_point = (fun _ _ -> false);
   }
 
-(* Exact range of sqrt(s_i^2 + s_j^2) over a box: [mig; mag] of the two
-   coordinates give the min/max of the radius on an axis-aligned box. *)
+(* Rigorous range of sqrt(s_i^2 + s_j^2) over a box, entirely in interval
+   arithmetic: [abs] maps each coordinate to [mig; mag], so the result
+   brackets the true radius range with outward rounding — the
+   "certainly" tests below need no epsilon fudge. *)
 let radius_range st (i, j) =
   let bi = B.get st.Symstate.box i and bj = B.get st.Symstate.box j in
-  let lo = sqrt ((I.mig bi *. I.mig bi) +. (I.mig bj *. I.mig bj)) in
-  let hi = sqrt ((I.mag bi *. I.mag bi) +. (I.mag bj *. I.mag bj)) in
-  (lo, hi)
-
-(* A couple of ulps of margin on the radius comparisons keeps the
-   "certainly" tests conservative despite the float sqrt. *)
-let eps_rel = 1e-12
+  let r = I.sqrt (I.add (I.sqr (I.abs bi)) (I.sqr (I.abs bj))) in
+  (I.lo r, I.hi r)
 
 let norm2_lt ~name ~dims ~radius =
   {
@@ -37,15 +34,16 @@ let norm2_lt ~name ~dims ~radius =
     contains_box =
       (fun st ->
         let _, hi = radius_range st dims in
-        hi *. (1.0 +. eps_rel) < radius);
+        hi < radius);
     intersects_box =
       (fun st ->
         let lo, _ = radius_range st dims in
-        lo *. (1.0 -. eps_rel) < radius);
+        lo < radius);
     contains_point =
       (fun s _ ->
         let i, j = dims in
-        sqrt ((s.(i) *. s.(i)) +. (s.(j) *. s.(j))) < radius);
+        (sqrt ((s.(i) *. s.(i)) +. (s.(j) *. s.(j))) < radius)
+        [@lint.fp_exact "point-sample oracle for falsification, not a proof"]);
   }
 
 let norm2_gt ~name ~dims ~radius =
@@ -54,15 +52,16 @@ let norm2_gt ~name ~dims ~radius =
     contains_box =
       (fun st ->
         let lo, _ = radius_range st dims in
-        lo *. (1.0 -. eps_rel) > radius);
+        lo > radius);
     intersects_box =
       (fun st ->
         let _, hi = radius_range st dims in
-        hi *. (1.0 +. eps_rel) > radius);
+        hi > radius);
     contains_point =
       (fun s _ ->
         let i, j = dims in
-        sqrt ((s.(i) *. s.(i)) +. (s.(j) *. s.(j))) > radius);
+        (sqrt ((s.(i) *. s.(i)) +. (s.(j) *. s.(j))) > radius)
+        [@lint.fp_exact "point-sample oracle for falsification, not a proof"]);
   }
 
 let coord_lt ~name ~dim ~bound =

@@ -16,3 +16,4 @@ let make ~plant ~controller ~erroneous ~target ~horizon_steps =
 
 let period sys = sys.controller.Controller.period
 let horizon sys = float_of_int sys.horizon_steps *. period sys
+[@@lint.fp_exact "reporting convenience; the verifier iterates horizon_steps"]

@@ -64,7 +64,8 @@ let influence_order sys (cell : Symstate.t) candidates =
       Nncs_interval.Box.max_width
         (Controller.abstract_scores ctrl ~box:half ~prev_cmd:cell.Symstate.cmd)
     in
-    0.5 *. (width_of l +. width_of r)
+    (0.5 *. (width_of l +. width_of r))
+    [@lint.fp_exact "split-ordering heuristic: any dimension order is sound"]
   in
   let scored = List.map (fun d -> (d, score d)) candidates in
   List.map fst (List.sort (fun (_, a) (_, b) -> compare a b) scored)
@@ -170,7 +171,7 @@ let run_leaf config budget sys st =
       | Ok r -> (Ok r, [ rung_base ])
       | Error f -> (Error f, [ rung_base ])
   in
-  (verdict, rungs, now () -. t0)
+  (verdict, rungs, (now () -. t0) [@lint.fp_exact "wall-clock telemetry"])
 
 let strategy_arity = function
   | All_dims dims -> List.length dims
@@ -250,21 +251,30 @@ let verify_cell ?(config = default_config) ?(index = 0) sys cell =
   in
   Metrics.incr m_cells;
   let proved_fraction =
-    List.fold_left
-      (fun acc leaf ->
-        if leaf.proved then acc +. (1.0 /. (factor ** float_of_int leaf.depth))
-        else acc)
-      0.0 leaves
+    (List.fold_left
+       (fun acc leaf ->
+         if leaf.proved then acc +. (1.0 /. (factor ** float_of_int leaf.depth))
+         else acc)
+       0.0 leaves)
+    [@lint.fp_exact
+      "progress accounting for reports: verdicts come from the leaf \
+       proofs, not from this number"]
   in
-  { index; leaves; proved_fraction; elapsed = now () -. t0 }
+  {
+    index;
+    leaves;
+    proved_fraction;
+    elapsed = (now () -. t0) [@lint.fp_exact "wall-clock telemetry"];
+  }
 
 let coverage_of_cells cells =
   match cells with
   | [] -> 100.0
   | _ ->
-      100.0
+      (100.0
       *. List.fold_left (fun acc c -> acc +. c.proved_fraction) 0.0 cells
-      /. float_of_int (List.length cells)
+      /. float_of_int (List.length cells))
+      [@lint.fp_exact "coverage percentage for reports only"]
 
 let crashed_cell_report index st msg =
   {
@@ -359,10 +369,14 @@ let verify_partition ?(config = default_config) ?progress ?on_cell
   {
     cells = cell_reports;
     coverage = coverage_of_cells cell_reports;
-    elapsed = now () -. t0;
+    elapsed = (now () -. t0) [@lint.fp_exact "wall-clock telemetry"];
     proved_cells =
       List.length
-        (List.filter (fun c -> c.proved_fraction >= 1.0 -. 1e-12) cell_reports);
+        (List.filter
+           (fun c ->
+             (c.proved_fraction >= 1.0 -. 1e-12)
+             [@lint.fp_exact "report bucketing threshold"])
+           cell_reports);
     unknown_cells = List.length (List.filter cell_has_failure cell_reports);
     total_cells = total;
   }

@@ -75,6 +75,7 @@ let widest_dim b =
   !best
 
 let volume b = Array.fold_left (fun v iv -> v *. Interval.width iv) 1.0 b
+[@@lint.fp_exact "size heuristic for splitting/reporting"]
 
 let bisect b i =
   let l, r = Interval.bisect b.(i) in
@@ -97,6 +98,7 @@ let distance_centers a b =
   let acc = ref 0.0 in
   Array.iteri (fun i x -> let d = x -. cb.(i) in acc := !acc +. (d *. d)) ca;
   !acc
+[@@lint.fp_exact "distance heuristic for join selection"]
 
 let pp fmt b =
   Format.fprintf fmt "@[<hov 1>(%a)@]"

@@ -27,9 +27,12 @@ let one = { lo = 1.0; hi = 1.0 }
 let pi =
   let p = 4.0 *. Float.atan 1.0 in
   { lo = R.next_down p; hi = R.next_up p }
+[@@lint.fp_exact "4*atan 1 nearest-rounded, then nudged one ulp each way; brackets checked against the expansion above"]
 
 let two_pi = { lo = R.next_down (2.0 *. pi.lo); hi = R.next_up (2.0 *. pi.hi) }
+[@@lint.fp_exact "products with exact 2.0 nudged outward"]
 let half_pi = { lo = R.next_down (0.5 *. pi.lo); hi = R.next_up (0.5 *. pi.hi) }
+[@@lint.fp_exact "products with exact 0.5 nudged outward"]
 let entire = { lo = Float.neg_infinity; hi = Float.infinity }
 let lo x = x.lo
 let hi x = x.hi
@@ -40,9 +43,11 @@ let mid x =
   else
     let m = 0.5 *. (x.lo +. x.hi) in
     if m < x.lo then x.lo else if m > x.hi then x.hi else m
+[@@lint.fp_exact "any point of the interval is an admissible midpoint; the clamp keeps it inside"]
 
 let width x = R.sub_up x.hi x.lo
 let rad x = 0.5 *. width x
+[@@lint.fp_exact "heuristic size measure; enclosure logic reads lo/hi directly"]
 let mag x = Float.max (Float.abs x.lo) (Float.abs x.hi)
 
 let mig x =
@@ -87,6 +92,7 @@ let sub a b = { lo = R.sub_down a.lo b.hi; hi = R.sub_up a.hi b.lo }
 let ( *.. ) a b =
   let p = a *. b in
   if Float.is_nan p then 0.0 else p
+[@@lint.fp_exact "raw endpoint products; mul nudges the min/max outward afterwards"]
 
 let mul a b =
   let p1 = a.lo *.. b.lo and p2 = a.lo *.. b.hi in
@@ -137,6 +143,7 @@ let abs x = { lo = mig x; hi = mag x }
 let min_ a b = { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
 let max_ a b = { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
 let exp x = { lo = Float.max 0.0 (R.lib_down (Float.exp x.lo)); hi = R.lib_up (Float.exp x.hi) }
+[@@lint.fp_exact "libm calls bracketed by the lib_down/lib_up margin"]
 
 let log x =
   if x.hi <= 0.0 then invalid_arg "Interval.log: non-positive interval";
@@ -144,8 +151,10 @@ let log x =
     if x.lo <= 0.0 then Float.neg_infinity else R.lib_down (Float.log x.lo)
   in
   { lo; hi = R.lib_up (Float.log x.hi) }
+[@@lint.fp_exact "libm calls bracketed by the lib_down/lib_up margin"]
 
 let atan x = { lo = R.lib_down (Float.atan x.lo); hi = R.lib_up (Float.atan x.hi) }
+[@@lint.fp_exact "libm calls bracketed by the lib_down/lib_up margin"]
 
 (* Does [a, b] possibly contain a point k * p (k integer)?  The quotients
    are computed in round-to-nearest and the test is padded with an
@@ -155,6 +164,7 @@ let maybe_contains_multiple p a b =
   let slack = 1e-9 in
   let q1 = Float.ceil ((a /. p) -. slack) and q2 = Float.floor ((b /. p) +. slack) in
   q2 >= q1
+[@@lint.fp_exact "padded quotient test can only err towards wider enclosures (see comment)"]
 
 let clamp_unit x = { lo = Float.max (-1.0) x.lo; hi = Float.min 1.0 x.hi }
 
@@ -169,6 +179,7 @@ let cos x =
       if maybe_contains_multiple two_pi.lo (x.lo -. pi.lo) (x.hi -. pi.lo) then -1.0 else lo
     in
     clamp_unit { lo; hi }
+[@@lint.fp_exact "libm cosines bracketed by lib margins; extrema handled via maybe_contains_multiple"]
 
 let sin x = cos (sub x half_pi)
 
@@ -189,6 +200,9 @@ let atan2 y x =
       lo = Float.max (-.pi.hi) (R.lib_down lo);
       hi = Float.min pi.hi (R.lib_up hi);
     }
+[@@lint.fp_exact
+  "corner atan2 values bracketed by lib margins and clamped to the \
+   rigorous pi enclosure"]
 
 let pp fmt x = Format.fprintf fmt "[%.17g, %.17g]" x.lo x.hi
 let to_string x = Format.asprintf "%a" pp x

@@ -5,6 +5,11 @@
    negative (symmetrically for the predecessor).  Zero is handled apart
    because +0.0 and -0.0 share the payload 0. *)
 
+[@@@lint.fp_exact
+  "this module IS the directed-rounding implementation: every \
+   nearest-rounded op below is deliberately followed by a ulp nudge \
+   (or 4-ulp libm margin) in the safe direction"]
+
 let next_up x =
   if Float.is_nan x then x
   else if x = Float.infinity then x

@@ -42,7 +42,7 @@ let mul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = get a i k in
-      if aik <> 0.0 then
+      if (aik <> 0.0) [@lint.fp_exact "exact zero test: skips structurally-zero terms; NaN falls through conservatively"] then
         for j = 0 to b.cols - 1 do
           c.data.((i * c.cols) + j) <-
             c.data.((i * c.cols) + j) +. (aik *. get b k j)
@@ -65,7 +65,7 @@ let tmul_vec m v =
   let out = Array.make m.cols 0.0 in
   for i = 0 to m.rows - 1 do
     let vi = v.(i) in
-    if vi <> 0.0 then
+    if (vi <> 0.0) [@lint.fp_exact "exact zero test: skips structurally-zero terms; NaN falls through conservatively"] then
       for j = 0 to m.cols - 1 do
         out.(j) <- out.(j) +. (m.data.((i * m.cols) + j) *. vi)
       done

@@ -1,0 +1,140 @@
+(* The checked-in baseline: a budget of known findings per key.  A run
+   compares its findings against the budget — the first [count]
+   occurrences of a key are "baselined" (warn), any excess is "new"
+   (fails CI for P1 rules).  Keys the tree no longer produces are
+   reported as stale so the baseline shrinks over time instead of
+   fossilizing. *)
+
+module Json = Nncs_obs.Json
+
+type entry = { key : string; count : int; reason : string }
+
+let version = 1.0
+
+let load path =
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string s with
+  | Json.Obj _ as j ->
+      let entries =
+        match Json.member "entries" j with
+        | Some (Json.List es) -> es
+        | _ -> raise (Json.Parse_error "baseline: missing entries list")
+      in
+      List.map
+        (fun e ->
+          {
+            key =
+              (match Json.member "key" e with
+              | Some (Json.Str k) -> k
+              | _ -> raise (Json.Parse_error "baseline: entry without key"));
+            count =
+              (match Json.member "count" e with
+              | Some n -> Json.to_int n
+              | None -> 1);
+            reason =
+              (match Json.member "reason" e with
+              | Some (Json.Str r) -> r
+              | _ -> "");
+          })
+        entries
+  | _ -> raise (Json.Parse_error "baseline: expected an object")
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("key", Json.Str e.key);
+      ("count", Json.Num (float_of_int e.count));
+      ("reason", Json.Str e.reason);
+    ]
+
+let save path entries =
+  let sorted = List.sort (fun a b -> compare a.key b.key) entries in
+  let j =
+    Json.Obj
+      [
+        ("version", Json.Num version);
+        ("tool", Json.Str "nncs_lint");
+        ("entries", Json.List (List.map entry_to_json sorted));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      (* one entry per line keeps diffs reviewable *)
+      output_string oc "{\n";
+      output_string oc
+        (Printf.sprintf "\"version\": %.0f,\n\"tool\": \"nncs_lint\",\n"
+           version);
+      output_string oc "\"entries\": [\n";
+      List.iteri
+        (fun i e ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc (Json.to_string (entry_to_json e)))
+        sorted;
+      output_string oc "\n]}\n";
+      ignore j)
+
+type status = New | Baselined of string
+
+(* Pair each finding (in location order) with its status, consuming the
+   per-key budget first-come-first-served; return leftover budget as
+   stale entries. *)
+let apply entries findings =
+  let budget = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let cur =
+        match Hashtbl.find_opt budget e.key with
+        | Some (c, _) -> c
+        | None -> 0
+      in
+      Hashtbl.replace budget e.key (cur + e.count, e.reason))
+    entries;
+  let classified =
+    List.map
+      (fun f ->
+        let k = Finding.key f in
+        match Hashtbl.find_opt budget k with
+        | Some (c, reason) when c > 0 ->
+            Hashtbl.replace budget k (c - 1, reason);
+            (f, Baselined reason)
+        | _ -> (f, New))
+      (List.sort Finding.compare_loc findings)
+  in
+  let stale =
+    Hashtbl.fold
+      (fun key (c, reason) acc ->
+        if c > 0 then { key; count = c; reason } :: acc else acc)
+      budget []
+    |> List.sort (fun a b -> compare a.key b.key)
+  in
+  (classified, stale)
+
+(* Build a fresh baseline from the current findings, keeping reasons
+   from a previous baseline where keys persist. *)
+let of_findings ?(previous = []) findings =
+  let reasons = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace reasons e.key e.reason) previous;
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let k = Finding.key f in
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    findings;
+  Hashtbl.fold
+    (fun key count acc ->
+      let reason =
+        match Hashtbl.find_opt reasons key with
+        | Some r when r <> "" -> r
+        | _ -> "TODO: justify or fix"
+      in
+      { key; count; reason } :: acc)
+    counts []
+  |> List.sort (fun a b -> compare a.key b.key)

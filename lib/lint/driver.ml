@@ -1,0 +1,66 @@
+(* File discovery + parsing front-end.  Parsing uses the installed
+   compiler's own parser (compiler-libs), so the linter accepts exactly
+   the syntax the build accepts; a file that fails to parse yields a P1
+   parse-failure finding rather than being skipped silently. *)
+
+let parse_failure ~path msg =
+  {
+    Finding.rule = Finding.Parse_failure;
+    file = path;
+    line = 1;
+    col = 0;
+    binding = "";
+    detail = "parse";
+    message = "could not parse file: " ^ msg;
+  }
+
+let lint_source ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> Rules.check ~file:path ast
+  | exception e ->
+      let msg =
+        match Location.error_of_exn e with
+        | Some (`Ok err) -> Format.asprintf "%a" Location.print_report err
+        | _ -> Printexc.to_string e
+      in
+      [ parse_failure ~path (String.trim msg) ]
+
+let lint_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | source -> lint_source ~path source
+  | exception Sys_error msg -> [ parse_failure ~path msg ]
+
+(* every .ml under the roots, skipping _build/.git/other tool dirs *)
+let collect_ml_files roots =
+  let skip_dir name =
+    String.length name > 0 && (name.[0] = '_' || name.[0] = '.')
+  in
+  let rec go acc path =
+    if Sys.is_directory path then
+      Array.to_list (Sys.readdir path)
+      |> List.sort compare
+      |> List.fold_left
+           (fun acc name ->
+             if skip_dir name then acc
+             else go acc (Filename.concat path name))
+           acc
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  List.rev (List.fold_left go [] roots)
+
+let lint_paths paths =
+  List.concat_map
+    (fun p ->
+      if Sys.file_exists p && Sys.is_directory p then
+        List.concat_map lint_file (collect_ml_files [ p ])
+      else lint_file p)
+    paths
+  |> List.sort Finding.compare_loc

@@ -1,0 +1,85 @@
+type rule =
+  | R1_bare_float
+  | R2_float_compare
+  | R3_top_mutable
+  | R3_mutex_unsafe
+  | R4_poly_compare
+  | Parse_failure
+
+type severity = P1 | P2
+
+let rule_id = function
+  | R1_bare_float -> "r1-bare-float"
+  | R2_float_compare -> "r2-float-compare"
+  | R3_top_mutable -> "r3-top-mutable"
+  | R3_mutex_unsafe -> "r3-mutex-unsafe"
+  | R4_poly_compare -> "r4-poly-compare"
+  | Parse_failure -> "parse-failure"
+
+let all_rule_ids =
+  [
+    "r1-bare-float";
+    "r2-float-compare";
+    "r3-top-mutable";
+    "r3-mutex-unsafe";
+    "r4-poly-compare";
+    "parse-failure";
+  ]
+
+(* Soundness (R1) and concurrency (R3) defects make verdicts wrong or
+   runs racy: P1, gating.  Comparison hazards (R2/R4) are usually
+   latent: P2, advisory unless --strict. *)
+let severity = function
+  | R1_bare_float | R3_top_mutable | R3_mutex_unsafe | Parse_failure -> P1
+  | R2_float_compare | R4_poly_compare -> P2
+
+let severity_id = function P1 -> "P1" | P2 -> "P2"
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  binding : string;  (* enclosing top-level binding, "" at toplevel *)
+  detail : string;   (* the operator / identifier / binding flagged *)
+  message : string;
+}
+
+(* The baseline key deliberately omits line/column so findings survive
+   unrelated edits above them; occurrences of the same (rule, file,
+   binding, detail) are budgeted by count instead. *)
+let key f =
+  String.concat "|" [ rule_id f.rule; f.file; f.binding; f.detail ]
+
+let compare_loc a b =
+  Stdlib.compare
+    (a.file, a.line, a.col, rule_id a.rule, a.detail)
+    (b.file, b.line, b.col, rule_id b.rule, b.detail)
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d [%s/%s] %s%s" f.file f.line f.col (rule_id f.rule)
+    (severity_id (severity f.rule))
+    f.message
+    (if f.binding = "" then "" else Printf.sprintf " (in `%s`)" f.binding)
+
+let to_json ?status f =
+  let base =
+    [
+      ("t", Nncs_obs.Json.Str "finding");
+      ("rule", Nncs_obs.Json.Str (rule_id f.rule));
+      ("severity", Nncs_obs.Json.Str (severity_id (severity f.rule)));
+      ("file", Nncs_obs.Json.Str f.file);
+      ("line", Nncs_obs.Json.Num (float_of_int f.line));
+      ("col", Nncs_obs.Json.Num (float_of_int f.col));
+      ("binding", Nncs_obs.Json.Str f.binding);
+      ("detail", Nncs_obs.Json.Str f.detail);
+      ("message", Nncs_obs.Json.Str f.message);
+      ("key", Nncs_obs.Json.Str (key f));
+    ]
+  in
+  let extra =
+    match status with
+    | None -> []
+    | Some s -> [ ("status", Nncs_obs.Json.Str s) ]
+  in
+  Nncs_obs.Json.Obj (base @ extra)

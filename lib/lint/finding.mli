@@ -1,0 +1,36 @@
+(** A single static-analysis finding.
+
+    Findings are identified for baselining purposes by {!key}, which
+    deliberately excludes source positions: the tuple (rule, file,
+    enclosing binding, flagged detail) plus an occurrence count is
+    stable under unrelated edits, whereas line numbers are not. *)
+
+type rule =
+  | R1_bare_float      (** bare float arithmetic in soundness-critical code *)
+  | R2_float_compare   (** polymorphic =/<>/compare/min/max at float type *)
+  | R3_top_mutable     (** top-level mutable state without Atomic/Mutex/DLS *)
+  | R3_mutex_unsafe    (** Mutex.lock without an exception-safe unlock *)
+  | R4_poly_compare    (** structural equality on abstract domain values *)
+  | Parse_failure      (** the linter could not parse the file *)
+
+type severity = P1 | P2
+
+val rule_id : rule -> string
+val all_rule_ids : string list
+val severity : rule -> severity
+val severity_id : severity -> string
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  binding : string;
+  detail : string;
+  message : string;
+}
+
+val key : t -> string
+val compare_loc : t -> t -> int
+val to_string : t -> string
+val to_json : ?status:string -> t -> Nncs_obs.Json.t

@@ -1,0 +1,365 @@
+(* The rule engine: a Parsetree walk (compiler-libs Ast_iterator) with a
+   mutable context carrying the active suppression set and the enclosing
+   top-level binding name.
+
+   Everything here is syntactic — the linter runs on untyped ASTs, so
+   R2/R4 use "looks like a float / looks like an abstract value"
+   heuristics and err towards silence on expressions whose type is not
+   apparent.  The baseline machinery absorbs the residual noise. *)
+
+open Parsetree
+
+type ctx = {
+  file : string;
+  r1_active : bool;
+  r3_active : bool;
+  mutable binding : string;
+  mutable sup : Suppress.t;
+  mutable static : bool;  (* directly under structure items, not inside an expression *)
+  locals : (string, unit) Hashtbl.t;
+      (* top-level names the file has defined so far: an unqualified
+         [cos]/[exp]/[sqrt] after such a definition is the file's own
+         function (e.g. interval cosine), not the libm one *)
+  mutable findings : Finding.t list;
+}
+
+let report ctx rule loc detail message =
+  let id = Finding.rule_id rule in
+  if
+    (not (Suppress.allows ctx.sup id))
+    && Config.allowlisted ~file:ctx.file ~rule_id:id = None
+  then
+    let p = loc.Location.loc_start in
+    ctx.findings <-
+      {
+        Finding.rule;
+        file = ctx.file;
+        line = p.Lexing.pos_lnum;
+        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        binding = ctx.binding;
+        detail;
+        message;
+      }
+      :: ctx.findings
+
+(* ----- identifier classification ----- *)
+
+let path_of_lid lid = String.concat "." (Longident.flatten lid)
+
+(* the module component closest to the value: M for M.f and Outer.M.f *)
+let owning_module lid =
+  match List.rev (Longident.flatten lid) with
+  | _ :: m :: _ -> Some m
+  | _ -> None
+
+let strip_stdlib lid =
+  match lid with
+  | Longident.Ldot (Lident "Stdlib", s) -> Longident.Lident s
+  | l -> l
+
+(* Is this identifier a bare rounding float operation? Returns the
+   display name.  [shadowed] filters alphabetic names (sqrt, cos, ...)
+   the file has redefined — those resolve to the local definition, not
+   libm.  Operators and Float.* stay flagged regardless. *)
+let bare_float_ident ~shadowed lid =
+  match strip_stdlib lid with
+  | Lident op when List.mem op Config.bare_float_ops -> Some op
+  | Lident f when List.mem f Config.bare_float_funs && not (shadowed f) ->
+      Some f
+  | Ldot (Lident "Float", f) when List.mem f Config.float_module_rounding ->
+      Some ("Float." ^ f)
+  | _ -> None
+
+(* Heads that mark an expression as float-typed for R2 (superset of the
+   R1 set: exact operations like ~-. and Float.abs type at float too). *)
+let floatish_head lid =
+  match strip_stdlib lid with
+  | Lident op
+    when List.mem op Config.bare_float_ops
+         || List.mem op Config.bare_float_funs
+         || List.mem op
+              [ "~-."; "~+."; "abs_float"; "float_of_int"; "float_of_string" ]
+    ->
+      true
+  | Ldot (Lident "Float", _) -> true
+  | _ -> false
+
+let rec floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      floatish_head txt
+  | Pexp_ident { txt; _ } -> (
+      match strip_stdlib txt with
+      | Ldot (Lident "Float", _) -> true
+      | Lident
+          ( "infinity" | "neg_infinity" | "nan" | "max_float" | "min_float"
+          | "epsilon_float" ) ->
+          true
+      | _ -> false)
+  | Pexp_constraint (e', _) | Pexp_open (_, e') -> floatish e'
+  | _ -> false
+
+(* R4: an argument whose head is a qualified call/constructor/value from
+   a module with an abstract principal type. *)
+let abstract_headed e =
+  let from_abstract lid =
+    match owning_module lid with
+    | Some m -> List.mem m Config.abstract_modules
+    | None -> false
+  in
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      from_abstract txt
+  | Pexp_construct ({ txt; _ }, _) -> from_abstract txt
+  | Pexp_ident { txt; _ } -> from_abstract txt
+  | _ -> false
+
+(* ----- R3: top-level mutable state ----- *)
+
+(* The maker of the value bound at toplevel, looking through let/seq/
+   constraints but NOT through functions (a function creating a ref per
+   call is not shared state). *)
+let rec state_maker e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      let p = path_of_lid (strip_stdlib txt) in
+      if List.mem p Config.safe_makers then None
+      else if List.mem p Config.mutable_makers then Some p
+      else None
+  | Pexp_array (_ :: _) -> Some "array literal"
+  | Pexp_let (_, _, body)
+  | Pexp_sequence (_, body)
+  | Pexp_constraint (body, _)
+  | Pexp_open (_, body) ->
+      state_maker body
+  | Pexp_tuple es -> List.find_map state_maker es
+  | _ -> None
+
+(* ----- R3: exception-unsafe Mutex.lock ----- *)
+
+let expr_mentions path e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } when path_of_lid txt = path -> found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* Within one top-level binding: collect Mutex.lock sites and whether
+   some Fun.protect has a ~finally that unlocks.  The check is
+   binding-granular — one exception-safe critical section vouches for
+   the binding — which is deliberately coarse but has no false negatives
+   on lock-free bindings and no false positives on the
+   lock-then-Fun.protect idiom. *)
+let check_mutex ctx vb_expr =
+  let locks = ref [] in
+  let protected_unlock = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } when path_of_lid txt = "Mutex.lock" ->
+              locks := loc :: !locks
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+            when path_of_lid txt = "Fun.protect" ->
+              if
+                List.exists
+                  (fun (lbl, a) ->
+                    lbl = Asttypes.Labelled "finally"
+                    && expr_mentions "Mutex.unlock" a)
+                  args
+              then protected_unlock := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it vb_expr;
+  if !locks <> [] && not !protected_unlock then
+    List.iter
+      (fun loc ->
+        report ctx Finding.R3_mutex_unsafe loc "Mutex.lock"
+          "Mutex.lock whose unlock is not exception-safe: wrap the \
+           critical section in Fun.protect ~finally:(fun () -> \
+           Mutex.unlock ...)")
+      (List.rev !locks)
+
+(* ----- per-expression checks (R1 / R2 / R4) ----- *)
+
+let check_expr ctx e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; loc } when ctx.r1_active -> (
+      match bare_float_ident ~shadowed:(Hashtbl.mem ctx.locals) txt with
+      | Some op ->
+          report ctx Finding.R1_bare_float loc op
+            (Printf.sprintf
+               "bare `%s` in soundness-critical code: outward rounding is \
+                not applied; use Rounding/Interval/Box, or annotate \
+                [@lint.fp_exact \"reason\"] if exactness/heuristic use is \
+                intended"
+               op)
+      | None -> ())
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args)
+    when List.length args >= 2 -> (
+      let plain_args =
+        List.filter_map
+          (fun (lbl, a) -> if lbl = Asttypes.Nolabel then Some a else None)
+          args
+      in
+      match strip_stdlib txt with
+      | Lident op
+        when List.mem op Config.poly_eq_ops
+             || List.mem op Config.poly_minmax_ops -> (
+          if List.exists floatish plain_args then
+            report ctx Finding.R2_float_compare loc op
+              (Printf.sprintf
+                 "polymorphic `%s` on a float operand: NaN and -0.0 \
+                  compare structurally (use Float.%s / explicit bit-level \
+                  logic, or annotate [@lint.fp_exact \"reason\"])"
+                 op
+                 (match op with
+                 | "=" -> "equal"
+                 | "<>" -> "equal + not"
+                 | o -> o))
+          else
+            match
+              if List.mem op Config.poly_eq_ops then
+                List.find_opt abstract_headed plain_args
+              else None
+            with
+            | Some witness ->
+                let w =
+                  match witness.pexp_desc with
+                  | Pexp_apply
+                      ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+                  | Pexp_construct ({ txt; _ }, _)
+                  | Pexp_ident { txt; _ } ->
+                      path_of_lid txt
+                  | _ -> "?"
+                in
+                report ctx Finding.R4_poly_compare loc (op ^ " " ^ w)
+                  (Printf.sprintf
+                     "structural `%s` on an abstract value (%s): use the \
+                      module's own equal/compare, or annotate [@lint.allow \
+                      \"r4 reason\"]"
+                     op w)
+            | None -> ())
+      | _ -> ())
+  | _ -> ()
+
+let check_pattern ctx p =
+  match p.ppat_desc with
+  | Ppat_constant (Pconst_float (lit, _)) ->
+      report ctx Finding.R2_float_compare p.ppat_loc ("pattern " ^ lit)
+        (Printf.sprintf
+           "float literal pattern %s matches by structural equality \
+            (NaN/-0.0 hazards); compare explicitly"
+           lit)
+  | _ -> ()
+
+(* ----- the walk ----- *)
+
+let rec binding_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p', _) -> binding_name p'
+  | _ -> None
+
+let make_iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  let expr self e =
+    let saved_sup = ctx.sup and saved_static = ctx.static in
+    ctx.static <- false;
+    ctx.sup <- Suppress.of_attributes e.pexp_attributes ctx.sup;
+    check_expr ctx e;
+    default.expr self e;
+    ctx.sup <- saved_sup;
+    ctx.static <- saved_static
+  in
+  let pat self p =
+    check_pattern ctx p;
+    default.pat self p
+  in
+  let structure_item self item =
+    match item.pstr_desc with
+    | Pstr_value (rec_flag, vbs) ->
+        let register () =
+          List.iter
+            (fun vb ->
+              match binding_name vb.pvb_pat with
+              | Some n -> Hashtbl.replace ctx.locals n ()
+              | None -> ())
+            vbs
+        in
+        (* a recursive binding shadows inside its own body; a plain one
+           only from the next item on *)
+        if rec_flag = Asttypes.Recursive then register ();
+        List.iter
+          (fun vb ->
+            let saved_sup = ctx.sup and saved_binding = ctx.binding in
+            ctx.sup <- Suppress.of_attributes vb.pvb_attributes ctx.sup;
+            (match binding_name vb.pvb_pat with
+            | Some n -> ctx.binding <- n
+            | None -> ());
+            if ctx.static && ctx.r3_active then begin
+              (* report itself applies suppression and the allowlist *)
+              (match state_maker vb.pvb_expr with
+              | Some maker ->
+                  report ctx Finding.R3_top_mutable vb.pvb_pat.ppat_loc
+                    (Printf.sprintf "%s=%s" ctx.binding maker)
+                    (Printf.sprintf
+                       "top-level mutable state (`%s` via %s) reachable \
+                        from parallel workers: use Atomic/Mutex/Domain.DLS \
+                        or annotate [@@lint.guarded_by \"mutex\"]"
+                       ctx.binding maker)
+              | _ -> ());
+              check_mutex ctx vb.pvb_expr
+            end;
+            self.Ast_iterator.pat self vb.pvb_pat;
+            self.Ast_iterator.expr self vb.pvb_expr;
+            ctx.sup <- saved_sup;
+            ctx.binding <- saved_binding)
+          vbs;
+        if rec_flag <> Asttypes.Recursive then register ()
+    | _ -> default.structure_item self item
+  in
+  let structure self items =
+    (* floating [@@@lint.*] attributes scope over the rest of the file
+       (or of the enclosing module) *)
+    let saved = ctx.sup in
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_attribute a -> ctx.sup <- Suppress.add a ctx.sup
+        | _ -> self.Ast_iterator.structure_item self item)
+      items;
+    ctx.sup <- saved
+  in
+  { default with expr; pat; structure_item; structure }
+
+let check ~file (ast : structure) : Finding.t list =
+  let ctx =
+    {
+      file;
+      r1_active = Config.r1_scope file;
+      r3_active = Config.r3_scope file;
+      binding = "";
+      sup = Suppress.empty;
+      static = true;
+      locals = Hashtbl.create 32;
+      findings = [];
+    }
+  in
+  let it = make_iterator ctx in
+  it.Ast_iterator.structure it ast;
+  List.sort Finding.compare_loc ctx.findings

@@ -37,7 +37,7 @@ let layer_out l forms =
         let terms = ref [] in
         for j = Mat.cols w - 1 downto 0 do
           let wij = Mat.get w i j in
-          if wij <> 0.0 then terms := (wij, forms.(j)) :: !terms
+          if (wij <> 0.0) [@lint.fp_exact "exact zero test: skips structurally-zero terms; NaN falls through conservatively"] then terms := (wij, forms.(j)) :: !terms
         done;
         match !terms with
         | [] -> A.of_float b.(i)

@@ -84,6 +84,9 @@ let snap_down q lo =
     incr n
   done;
   (if Float.is_finite !s && !s <= lo then !s else lo) +. 0.0
+[@@lint.fp_exact
+  "quantization is containment-checked: the loop verifies s <= lo and \
+   falls back to the raw bound otherwise (see comment above)"]
 
 let snap_up q hi =
   let s = ref (Float.ceil (hi /. q) *. q) in
@@ -94,12 +97,15 @@ let snap_up q hi =
     incr n
   done;
   (if Float.is_finite !s && !s >= hi then !s else hi) +. 0.0
+[@@lint.fp_exact "containment-checked, mirror of snap_down"]
 
 let quantize_bounds quantum box =
   Array.init (B.dim box) (fun k ->
       let iv = B.get box k in
       let lo = I.lo iv and hi = I.hi iv in
-      if quantum <= 0.0 then (lo +. 0.0, hi +. 0.0)
+      if quantum <= 0.0 then
+        (lo +. 0.0, hi +. 0.0)
+        [@lint.fp_exact "+. 0.0 only normalises -0.0 for key hashing"]
       else (snap_down quantum lo, snap_up quantum hi))
 
 let quantize quantum box =
@@ -144,7 +150,10 @@ let stats (t : t) =
 
 let hit_rate (t : t) =
   let total = t.hits + t.misses in
-  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+  if total = 0 then 0.0
+  else
+    (float_of_int t.hits /. float_of_int total)
+    [@lint.fp_exact "telemetry ratio"]
 
 let clear t =
   Hashtbl.reset t.table;

@@ -122,7 +122,7 @@ let affine_rows ~xmag w b m src_lo src_up dst_lo dst_up =
     let nterms = ref 0 in
     for j = 0 to cols - 1 do
       let wij = Mat.get w i j in
-      if wij <> 0.0 then begin
+      if (wij <> 0.0) [@lint.fp_exact "exact zero test: skips structurally-zero terms; NaN falls through conservatively"] then begin
         incr nterms;
         let su, sl = if wij > 0.0 then (src_up, src_lo) else (src_lo, src_up) in
         let joff = j * m in

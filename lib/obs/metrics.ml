@@ -14,8 +14,10 @@ type histogram = {
 let registry_mutex = Mutex.create ()
 
 let counters : counter list ref = ref []
+[@@lint.guarded_by "registry_mutex"]
 
 let histograms : histogram list ref = ref []
+[@@lint.guarded_by "registry_mutex"]
 
 let with_registry f =
   Mutex.lock registry_mutex;

@@ -24,25 +24,25 @@ let domain_id () = (Domain.self () :> int)
    [registry] on the domain's first emit.  Buffers of joined domains stay
    registered, which is exactly what the merge wants. *)
 let registry : event list ref list ref = ref []
+[@@lint.guarded_by "registry_mutex"]
 
 let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
 let buffer_key : event list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       let buf = ref [] in
-      Mutex.lock registry_mutex;
-      registry := buf :: !registry;
-      Mutex.unlock registry_mutex;
+      with_registry (fun () -> registry := buf :: !registry);
       buf)
 
 let emit ev =
   let buf = Domain.DLS.get buffer_key in
   buf := ev :: !buf
 
-let clear () =
-  Mutex.lock registry_mutex;
-  List.iter (fun buf -> buf := []) !registry;
-  Mutex.unlock registry_mutex
+let clear () = with_registry (fun () -> List.iter (fun buf -> buf := []) !registry)
 
 let enable () =
   clear ();
@@ -52,9 +52,7 @@ let enable () =
 let disable () = Atomic.set enabled_flag false
 
 let events () =
-  Mutex.lock registry_mutex;
-  let all = List.concat_map (fun buf -> !buf) !registry in
-  Mutex.unlock registry_mutex;
+  let all = with_registry (fun () -> List.concat_map (fun buf -> !buf) !registry) in
   List.sort (fun a b -> compare (a.ts, a.dom) (b.ts, b.dom)) all
 
 let attr_to_json = function

@@ -1,5 +1,6 @@
 module I = Nncs_interval.Interval
 module B = Nncs_interval.Box
+module R = Nncs_interval.Rounding
 
 exception Enclosure_failure of string
 
@@ -15,7 +16,7 @@ let enclosure sys ~t1 ~h ~state ~inputs =
   if h <= 0.0 then invalid_arg "Apriori.enclosure: non-positive step";
   Nncs_resilience.Fault.trigger "ode.apriori";
   Nncs_obs.Metrics.incr m_calls;
-  let tiv = I.make t1 (t1 +. h) in
+  let tiv = I.make t1 (R.add_up t1 h) in
   let hiv = I.make 0.0 h in
   let picard b =
     let fb = Ode.eval_rhs_interval sys ~time:tiv ~state:b ~inputs in
@@ -42,14 +43,21 @@ let enclosure sys ~t1 ~h ~state ~inputs =
           B.mapi
             (fun _ iv ->
               let w = I.width iv in
-              let eps = (swell *. w) +. !abs_eps in
+              let eps =
+                ((swell *. w) +. !abs_eps)
+                [@lint.fp_exact
+                  "inflation amount is a heuristic: any eps >= 0 is sound \
+                   (I.inflate rounds outward)"]
+              in
               (* an overflowing candidate widens to the whole line; the
                  Picard test then either accepts the (useless but sound)
                  unbounded enclosure or hits [max_tries] *)
               if Float.is_finite eps then I.inflate iv eps else I.entire)
             (B.hull b nb)
         in
-        abs_eps := !abs_eps *. 2.0;
+        abs_eps :=
+          (!abs_eps *. 2.0)
+          [@lint.fp_exact "heuristic growth schedule, exactness irrelevant"];
         iterate grown (tries + 1)
       end
   in

@@ -25,46 +25,88 @@ let state i = State i
 let input i = Input i
 let neg = function Const c -> Const (-.c) | Neg e -> e | e -> Neg e
 
+(* Constant folding must not perturb the dynamics: [diff] builds
+   variational equations through these smart constructors, and a
+   round-to-nearest fold would silently replace the true constant with a
+   nearby one — an unsound model change, not a conservative one.  So a
+   binary fold fires only when the float result is provably exact
+   (error-free-transformation residual = 0); otherwise the node is kept
+   and [eval_interval] encloses it rigorously.  Transcendental constants
+   are never folded (libm is not correctly rounded). *)
+
+let exact_add x y =
+  let s = x +. y in
+  let bb = s -. x in
+  Float.is_finite s && (x -. (s -. bb)) +. (y -. bb) = 0.0
+[@@lint.fp_exact "TwoSum residual: detects exact float addition"]
+
+let exact_mul_result x y =
+  let p = x *. y in
+  if Float.is_finite p && Float.fma x y (-.p) = 0.0 then Some p else None
+[@@lint.fp_exact "fma residual: detects exact float multiplication"]
+
+let exact_div_result x y =
+  let q = x /. y in
+  if Float.is_finite q && Float.fma q y (-.x) = 0.0 then Some q else None
+[@@lint.fp_exact "fma residual: detects exact float division"]
+
 let ( + ) a b =
   match (a, b) with
   | Const 0.0, e | e, Const 0.0 -> e
-  | Const x, Const y -> Const (x +. y)
+  | Const x, Const y when exact_add x y -> Const (x +. y)
   | a, b -> Add (a, b)
+[@@lint.fp_exact "fold guarded by exact_add"]
 
 let ( - ) a b =
   match (a, b) with
   | e, Const 0.0 -> e
   | Const 0.0, e -> neg e
-  | Const x, Const y -> Const (x -. y)
+  | Const x, Const y when exact_add x (-.y) -> Const (x -. y)
   | a, b -> Sub (a, b)
+[@@lint.fp_exact "fold guarded by exact_add on the negated operand"]
 
 let ( * ) a b =
   match (a, b) with
   | Const 0.0, _ | _, Const 0.0 -> Const 0.0
   | Const 1.0, e | e, Const 1.0 -> e
-  | Const x, Const y -> Const (x *. y)
+  | Const x, Const y -> (
+      match exact_mul_result x y with Some p -> Const p | None -> Mul (a, b))
   | a, b -> Mul (a, b)
+[@@lint.fp_exact "fold guarded by exact_mul_result"]
 
 let ( / ) a b =
   match (a, b) with
   | Const 0.0, _ -> Const 0.0
   | e, Const 1.0 -> e
-  | Const x, Const y when y <> 0.0 -> Const (x /. y)
+  | Const x, Const y when y <> 0.0 -> (
+      match exact_div_result x y with Some q -> Const q | None -> Div (a, b))
   | a, b -> Div (a, b)
+[@@lint.fp_exact "fold guarded by exact_div_result"]
 
-let sin = function Const c -> Const (Float.sin c) | e -> Sin e
-let cos = function Const c -> Const (Float.cos c) | e -> Cos e
-let exp = function Const c -> Const (Float.exp c) | e -> Exp e
-let sqrt = function Const c when c >= 0.0 -> Const (Float.sqrt c) | e -> Sqrt e
-let sqr = function Const c -> Const (c *. c) | e -> Sqr e
-let atan = function Const c -> Const (Float.atan c) | e -> Atan e
+let sin = function e -> Sin e
+let cos = function e -> Cos e
+let exp = function e -> Exp e
+
+let sqrt = function
+  | Const c when c >= 0.0 && Float.fma (Float.sqrt c) (Float.sqrt c) (-.c) = 0.0
+    ->
+      Const (Float.sqrt c)
+  | e -> Sqrt e
+[@@lint.fp_exact "fold only exact square roots (fma residual guard)"]
+
+let sqr = function
+  | Const c -> (
+      match exact_mul_result c c with Some p -> Const p | None -> Sqr (Const c))
+  | e -> Sqr e
+
+let atan = function e -> Atan e
 
 let pow e n =
   if n < 0 then invalid_arg "Expr.pow: negative exponent"
   else if n = 0 then Const 1.0
   else if n = 1 then e
   else if n = 2 then sqr e
-  else match e with Const c -> Const (Float.pow c (float_of_int n)) | e -> Pow (e, n)
+  else Pow (e, n)
 
 let scale c e = Const c * e
 
@@ -88,6 +130,9 @@ let rec eval e ~time ~state ~inputs =
       v *. v
   | Atan a -> Float.atan (eval a ~time ~state ~inputs)
   | Pow (a, n) -> Float.pow (eval a ~time ~state ~inputs) (float_of_int n)
+[@@lint.fp_exact
+  "concrete point evaluator for simulation/falsification only; the \
+   verified path goes through eval_interval"]
 
 let rec eval_interval e ~time ~state ~inputs =
   match e with

@@ -1,6 +1,7 @@
 module I = Nncs_interval.Interval
 module B = Nncs_interval.Box
 module IM = Nncs_interval.Interval_matrix
+module R = Nncs_interval.Rounding
 module Mat = Nncs_linalg.Mat
 module Qr = Nncs_linalg.Qr
 
@@ -45,7 +46,9 @@ let variational_coeffs ~order ~aser ~j0 =
     for m = 0 to k do
       acc := IM.add !acc (IM.mul (a_coeff m) js.(k - m))
     done;
-    js.(k + 1) <- IM.scale (I.of_float (1.0 /. float_of_int (k + 1))) !acc
+    (* divide by the exact integer interval — a nearest-rounded 1/(k+1)
+       scalar would not contain the true coefficient *)
+    js.(k + 1) <- IM.scale (I.inv (I.of_float (float_of_int (k + 1)))) !acc
   done;
   js
 
@@ -53,7 +56,7 @@ let variational_coeffs ~order ~aser ~j0 =
    JB = I + [0,h] * A(prior) * JB *)
 let jacobian_prior sys ~t1 ~h ~prior ~inputs =
   let n = sys.Ode.dim in
-  let tiv = I.make t1 (t1 +. h) in
+  let tiv = I.make t1 (R.add_up t1 h) in
   let hiv = I.make 0.0 h in
   let abox =
     IM.init n n (fun i j ->
@@ -71,25 +74,34 @@ let jacobian_prior sys ~t1 ~h ~prior ~inputs =
   let d =
     Array.init n (fun i -> Float.max 1.0 (I.mag (Nncs_interval.Box.get prior i)))
   in
+  (* norm and r must be UPPER bounds for the Gronwall argument, so the
+     whole chain rounds up (and the final -1 rounds up too) *)
   let norm_a =
     let worst = ref 0.0 in
     for i = 0 to n - 1 do
       let row = ref 0.0 in
       for j = 0 to n - 1 do
-        row := !row +. (I.mag (IM.get abox i j) *. d.(j) /. d.(i))
+        row :=
+          R.add_up !row
+            (R.div_up (R.mul_up (I.mag (IM.get abox i j)) d.(j)) d.(i))
       done;
       worst := Float.max !worst !row
     done;
     !worst
   in
-  let r = Nncs_interval.Rounding.lib_up (Float.exp (norm_a *. h)) -. 1.0 in
+  let r =
+    R.sub_up
+      ((R.lib_up (Float.exp (R.mul_up norm_a h)))
+       [@lint.fp_exact "monotone libm call covered by the lib_up margin"])
+      1.0
+  in
   if not (Float.is_finite r) then
     raise
       (Apriori.Enclosure_failure
          (Printf.sprintf "Jacobian enclosure diverges (t1=%g h=%g)" t1 h));
   let gronwall =
     IM.init n n (fun i j ->
-        let rij = r *. d.(i) /. d.(j) in
+        let rij = R.div_up (R.mul_up r d.(i)) d.(j) in
         I.add (if i = j then I.one else I.zero) (I.make (-.rij) rij))
   in
   let tightened = picard gronwall in
@@ -119,12 +131,12 @@ let jacobian_enclosure sys ~order ~t1 ~h ~inputs box =
   let jb = jacobian_prior sys ~t1 ~h ~prior ~inputs in
   let zpr =
     Series.solution_coeffs ~rhs:sys.Ode.rhs ~order
-      ~time:(I.make t1 (t1 +. h))
+      ~time:(I.make t1 (R.add_up t1 h))
       ~state:prior ~inputs
   in
   let apr =
     jacobian_entry_series sys
-      ~time:(Series.time_var order (I.make t1 (t1 +. h)))
+      ~time:(Series.time_var order (I.make t1 (R.add_up t1 h)))
       ~zser:zpr ~inputs
   in
   let jpr = variational_coeffs ~order ~aser:apr ~j0:jb in
@@ -148,13 +160,15 @@ let inverse_orthogonal q =
     let row = ref 0.0 in
     for j = 0 to n - 1 do
       let e = I.add_float (IM.get g i j) (if i = j then -1.0 else 0.0) in
-      row := !row +. I.mag e
+      (* eps must over-estimate ||Q^T Q - I||, so accumulate upward *)
+      row := R.add_up !row (I.mag e)
     done;
     eps := Float.max !eps !row
   done;
   if !eps >= 0.5 then
     raise (Apriori.Enclosure_failure "QR factor too far from orthogonal");
-  let delta = !eps /. (1.0 -. !eps) in
+  (* round delta up: numerator up, denominator down *)
+  let delta = R.div_up !eps (R.sub_down 1.0 !eps) in
   let fudge = IM.init n n (fun i j ->
       I.add (if i = j then I.one else I.zero) (I.make (-.delta) delta))
   in
@@ -172,7 +186,7 @@ let step sys ~order ~t1 ~h ~inputs st =
   in
   let zpr =
     Series.solution_coeffs ~rhs:sys.Ode.rhs ~order
-      ~time:(I.make t1 (t1 +. h))
+      ~time:(I.make t1 (R.add_up t1 h))
       ~state:prior ~inputs
   in
   let hd = I.of_float h in
@@ -192,7 +206,11 @@ let step sys ~order ~t1 ~h ~inputs st =
   (* 4. new frame: pivoted QR of mid(M) with columns scaled by the error radii *)
   let mmid = IM.midpoint m in
   let scaled =
-    Mat.init n n (fun i j -> mmid.(i).(j) *. Float.max 1e-30 (I.rad st.errors.(j)))
+    (Mat.init n n (fun i j ->
+         mmid.(i).(j) *. Float.max 1e-30 (I.rad st.errors.(j)))
+    [@lint.fp_exact
+      "frame choice is a heuristic: any float matrix is admissible, \
+       soundness comes from the rigorous inverse_orthogonal"])
   in
   let q = Qr.orthonormalize scaled in
   let qinv = inverse_orthogonal q in

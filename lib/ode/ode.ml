@@ -37,6 +37,7 @@ let rk4_step sys ~time ~state ~inputs ~h =
   Array.init n (fun i ->
       state.(i)
       +. (h /. 6.0 *. (k1.(i) +. (2.0 *. k2.(i)) +. (2.0 *. k3.(i)) +. k4.(i))))
+[@@lint.fp_exact "non-rigorous RK4 reference integrator: simulation plots and falsification only, never part of a proof"]
 
 let rk4_flow sys ~time ~state ~inputs ~duration ~steps =
   if steps <= 0 then invalid_arg "Ode.rk4_flow: steps must be positive";
@@ -46,6 +47,7 @@ let rk4_flow sys ~time ~state ~inputs ~duration ~steps =
     s := rk4_step sys ~time:(time +. (float_of_int i *. h)) ~state:!s ~inputs ~h
   done;
   !s
+[@@lint.fp_exact "non-rigorous RK4 reference integrator: simulation plots and falsification only, never part of a proof"]
 
 let rk4_trajectory sys ~time ~state ~inputs ~duration ~steps =
   if steps <= 0 then invalid_arg "Ode.rk4_trajectory: steps must be positive";
@@ -60,3 +62,4 @@ let rk4_trajectory sys ~time ~state ~inputs ~duration ~steps =
         go (i + 1) s' ((t, s) :: acc)
   in
   go 0 (Array.copy state) []
+[@@lint.fp_exact "non-rigorous RK4 reference integrator: simulation plots and falsification only, never part of a proof"]

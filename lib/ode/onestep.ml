@@ -1,5 +1,6 @@
 module I = Nncs_interval.Interval
 module B = Nncs_interval.Box
+module R = Nncs_interval.Rounding
 
 type result = { range : B.t; endpoint : B.t }
 
@@ -14,7 +15,7 @@ let step sys ~order ~t1 ~h ~state ~inputs =
   in
   let zr =
     Series.solution_coeffs ~rhs:sys.Ode.rhs ~order
-      ~time:(I.make t1 (t1 +. h))
+      ~time:(I.make t1 (R.add_up t1 h))
       ~state:prior ~inputs
   in
   let expand d =

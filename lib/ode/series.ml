@@ -75,7 +75,8 @@ let exp a =
     for j = 1 to n do
       acc := I.add !acc (I.mul (I.mul_float (float_of_int j) a.(j)) e.(n - j))
     done;
-    e.(n) <- I.mul_float (1.0 /. float_of_int n) !acc
+    (* divide by the exact integer, not by a nearest-rounded 1/n scalar *)
+    e.(n) <- I.div !acc (I.of_float (float_of_int n))
   done;
   e
 
@@ -91,9 +92,9 @@ let sin_cos a =
       sacc := I.add !sacc (I.mul ja c.(n - j));
       cacc := I.add !cacc (I.mul ja s.(n - j))
     done;
-    let inv_n = 1.0 /. float_of_int n in
-    s.(n) <- I.mul_float inv_n !sacc;
-    c.(n) <- I.neg (I.mul_float inv_n !cacc)
+    let n_iv = I.of_float (float_of_int n) in
+    s.(n) <- I.div !sacc n_iv;
+    c.(n) <- I.neg (I.div !cacc n_iv)
   done;
   (s, c)
 
@@ -157,7 +158,7 @@ let solution_coeffs ~rhs ~order:k ~time ~state ~inputs =
   for j = 0 to k - 1 do
     let fs = Array.map (fun e -> eval_expr e ~time:tseries ~state:z ~inputs) rhs in
     for i = 0 to dim - 1 do
-      z.(i).(j + 1) <- I.mul_float (1.0 /. float_of_int (j + 1)) fs.(i).(j)
+      z.(i).(j + 1) <- I.div fs.(i).(j) (I.of_float (float_of_int (j + 1)))
     done
   done;
   z

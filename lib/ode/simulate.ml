@@ -9,11 +9,19 @@ type scheme = Direct | Lohner
 type result = { pieces : B.t array; range : B.t; endpoint : B.t }
 
 let simulate_direct sys ~t0 ~period ~steps ~order ~state ~inputs =
-  let h = period /. float_of_int steps in
+  let h =
+    (period /. float_of_int steps)
+    [@lint.fp_exact
+      "sub-step grid choice: each step is rigorously enclosed from its \
+       exact float t1 and h, so grid rounding only relabels time"]
+  in
   let pieces = Array.make steps state in
   let current = ref state in
   for i = 0 to steps - 1 do
-    let t1 = t0 +. (float_of_int i *. h) in
+    let t1 =
+      (t0 +. (float_of_int i *. h))
+      [@lint.fp_exact "grid time label; the step encloses from this exact float"]
+    in
     let { Onestep.range; endpoint } =
       Onestep.step sys ~order ~t1 ~h ~state:!current ~inputs
     in
@@ -24,11 +32,17 @@ let simulate_direct sys ~t0 ~period ~steps ~order ~state ~inputs =
   { pieces; range; endpoint = !current }
 
 let simulate_lohner sys ~t0 ~period ~steps ~order ~state ~inputs =
-  let h = period /. float_of_int steps in
+  let h =
+    (period /. float_of_int steps)
+    [@lint.fp_exact "sub-step grid choice, as in simulate_direct"]
+  in
   let pieces = Array.make steps state in
   let current = ref (Lohner.init state) in
   for i = 0 to steps - 1 do
-    let t1 = t0 +. (float_of_int i *. h) in
+    let t1 =
+      (t0 +. (float_of_int i *. h))
+      [@lint.fp_exact "grid time label; the step encloses from this exact float"]
+    in
     let { Lohner.next; range } =
       Lohner.step sys ~order ~t1 ~h ~inputs !current
     in

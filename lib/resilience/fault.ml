@@ -9,7 +9,7 @@ type fault = {
    atomic load when nothing is armed (the common, production case). *)
 let count = Atomic.make 0
 let mutex = Mutex.create ()
-let faults : fault list ref = ref []
+let faults : fault list ref = ref [] [@@lint.guarded_by "mutex"]
 
 let with_lock f =
   Mutex.lock mutex;

@@ -1,0 +1,14 @@
+(* Fixture: bare float arithmetic.  Linted under a fake path inside
+   lib/interval so R1 is in scope. *)
+
+let widen lo hi = (lo +. 1.0, hi *. 2.0)
+let libm_call x = sqrt x
+let float_module x = Float.exp x
+
+(* local shadowing: this [cos] is the file's own function, so the call
+   below must NOT be flagged *)
+let cos x = x
+let uses_local_cos x = cos x
+
+(* exact queries are not rounding operations *)
+let fine x = Float.abs (Float.max x 1.0)

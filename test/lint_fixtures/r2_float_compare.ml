@@ -1,0 +1,7 @@
+(* Fixture: polymorphic comparison at float type. *)
+
+let bad_eq x = x = 1.0
+let bad_neq x = x <> 0.5
+let bad_min x y = min (x +. 1.0) y
+let bad_pattern = function 0.0 -> true | _ -> false
+let fine_int x = x = 1

@@ -1,0 +1,18 @@
+(* Fixture: top-level mutable state and exception-unsafe locking. *)
+
+let bad_cache = ref []
+let bad_table = Hashtbl.create 16
+let fine_atomic = Atomic.make 0
+let fine_local () = ref 0
+
+let m = Mutex.create ()
+
+let bad_section x =
+  Mutex.lock m;
+  let r = x + 1 in
+  Mutex.unlock m;
+  r
+
+let fine_section x =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> x + 1)

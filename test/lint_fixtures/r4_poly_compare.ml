@@ -1,0 +1,7 @@
+(* Fixture: structural equality on abstract types. *)
+
+let bad_interval a = a = Interval.make 0.0 1.0
+let bad_net n m = Network.layers n = Network.layers m
+let bad_compare n m = compare (Symstate.make n) (Symstate.make m)
+let fine_strings a b = String.equal a b
+let fine_own_equal a b = Interval.equal a b

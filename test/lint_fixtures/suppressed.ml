@@ -1,0 +1,20 @@
+(* Fixture: every finding below is suppressed by an annotation, so the
+   linter must report nothing for this file. *)
+
+let heuristic_width iv = (Interval.hi iv -. Interval.lo iv) *. 0.5
+[@@lint.fp_exact "test: heuristic measure"]
+
+let inline_site x = (x +. 1.0) [@lint.fp_exact "test: inline suppression"]
+
+let zero_test w = (w = 0.0) [@lint.fp_exact "test: exact zero check"]
+
+let guarded_registry = ref [] [@@lint.guarded_by "registry_mutex"]
+
+let allowed_state = Hashtbl.create 8
+[@@lint.allow "r3-top-mutable test: read-only after init"]
+
+let allowed_eq a = (a = Interval.zero) [@lint.allow "r4 test: interned values"]
+
+[@@@lint.fp_exact "test: rest of file is exempt"]
+
+let after_floating x = sqrt (x ** 2.0)

@@ -1,0 +1,229 @@
+(* Self-tests for the nncs_lint static analyzer: one fixture per rule
+   family, suppression coverage, scope rules, shadowing, and the
+   baseline workflow.  Fixtures are real .ml files under lint_fixtures/
+   but are linted under fake repo paths so the scope logic (R1 only in
+   soundness-critical dirs, R3 only under lib/) is exercised. *)
+
+module L = Nncs_lint
+module F = L.Finding
+
+let read_fixture name =
+  let path = Filename.concat "lint_fixtures" name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* lint fixture [name] as if it lived at [path] in the repo *)
+let lint_as name path = L.Driver.lint_source ~path (read_fixture name)
+
+let rule_counts findings =
+  List.fold_left
+    (fun acc f ->
+      let id = F.rule_id f.F.rule in
+      let cur = try List.assoc id acc with Not_found -> 0 in
+      (id, cur + 1) :: List.remove_assoc id acc)
+    [] findings
+  |> List.sort compare
+
+let check_counts msg expected findings =
+  Alcotest.(check (list (pair string int))) msg expected (rule_counts findings)
+
+let bindings_of rule findings =
+  List.filter_map
+    (fun f -> if f.F.rule = rule then Some f.F.binding else None)
+    findings
+  |> List.sort_uniq compare
+
+(* ----- rule families ----- *)
+
+let test_r1 () =
+  let fs = lint_as "r1_bare_float.ml" "lib/interval/r1_bare_float.ml" in
+  check_counts "r1 fixture" [ ("r1-bare-float", 4) ] fs;
+  Alcotest.(check (list string))
+    "flagged bindings"
+    [ "float_module"; "libm_call"; "widen" ]
+    (bindings_of F.R1_bare_float fs);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "severity" "P1" (F.severity_id (F.severity f.F.rule)))
+    fs
+
+let test_r1_scope () =
+  (* the same file outside the soundness-critical dirs yields nothing *)
+  let fs = lint_as "r1_bare_float.ml" "lib/obs/r1_bare_float.ml" in
+  check_counts "r1 out of scope" [] fs
+
+let test_r1_shadowing () =
+  let fs = lint_as "r1_bare_float.ml" "lib/interval/r1_bare_float.ml" in
+  Alcotest.(check bool)
+    "locally-defined cos is not libm" false
+    (List.exists (fun f -> f.F.binding = "uses_local_cos") fs)
+
+let test_r2 () =
+  let fs = lint_as "r2_float_compare.ml" "bin/r2_float_compare.ml" in
+  check_counts "r2 fixture" [ ("r2-float-compare", 4) ] fs;
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "severity" "P2" (F.severity_id (F.severity f.F.rule)))
+    fs
+
+let test_r3 () =
+  let fs = lint_as "r3_mutable.ml" "lib/obs/r3_mutable.ml" in
+  check_counts "r3 fixture"
+    [ ("r3-mutex-unsafe", 1); ("r3-top-mutable", 2) ]
+    fs;
+  Alcotest.(check (list string))
+    "mutable bindings" [ "bad_cache"; "bad_table" ]
+    (bindings_of F.R3_top_mutable fs);
+  Alcotest.(check (list string))
+    "unsafe lock in" [ "bad_section" ]
+    (bindings_of F.R3_mutex_unsafe fs)
+
+let test_r4 () =
+  let fs = lint_as "r4_poly_compare.ml" "bin/r4_poly_compare.ml" in
+  check_counts "r4 fixture" [ ("r4-poly-compare", 3) ] fs
+
+let test_suppression () =
+  let fs = lint_as "suppressed.ml" "lib/interval/suppressed.ml" in
+  check_counts "all suppressed" [] fs
+
+let test_parse_failure () =
+  let fs = L.Driver.lint_source ~path:"lib/core/broken.ml" "let let = in" in
+  check_counts "parse failure" [ ("parse-failure", 1) ] fs
+
+(* ----- acceptance criterion: a deliberately-introduced bare [+.] in
+   lib/interval is flagged as a new P1 when run without a baseline ----- *)
+
+let test_deliberate_regression () =
+  let source = "let widen_ulp iv = Interval.hi iv +. 1e-9\n" in
+  let fs = L.Driver.lint_source ~path:"lib/interval/patch.ml" source in
+  check_counts "bare +. flagged" [ ("r1-bare-float", 1) ] fs;
+  let f = List.hd fs in
+  Alcotest.(check string) "P1" "P1" (F.severity_id (F.severity f.F.rule));
+  Alcotest.(check string) "op" "+." f.F.detail;
+  (* no baseline: the finding is New *)
+  let classified, stale = L.Baseline.apply [] fs in
+  Alcotest.(check bool)
+    "new without baseline" true
+    (List.for_all (fun (_, s) -> s = L.Baseline.New) classified);
+  Alcotest.(check int) "no stale" 0 (List.length stale)
+
+(* ----- baseline workflow ----- *)
+
+let test_baseline_roundtrip () =
+  let fs = lint_as "r1_bare_float.ml" "lib/interval/r1_bare_float.ml" in
+  let entries = L.Baseline.of_findings fs in
+  let path = Filename.temp_file "nncs_lint_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      L.Baseline.save path entries;
+      let loaded = L.Baseline.load path in
+      Alcotest.(check int)
+        "entry count survives" (List.length entries) (List.length loaded);
+      (* a full baseline classifies everything as baselined, nothing stale *)
+      let classified, stale = L.Baseline.apply loaded fs in
+      Alcotest.(check bool)
+        "all baselined" true
+        (List.for_all
+           (fun (_, s) -> match s with L.Baseline.Baselined _ -> true | _ -> false)
+           classified);
+      Alcotest.(check int) "no stale" 0 (List.length stale))
+
+let test_baseline_budget_and_stale () =
+  (* two occurrences of the same key (+. twice in one binding): a budget
+     of 1 baselines the first and reports the second as new *)
+  let fs =
+    L.Driver.lint_source ~path:"lib/interval/twice.ml"
+      "let f x = x +. 1.0 +. 2.0\n"
+  in
+  Alcotest.(check int) "two findings, one key" 2 (List.length fs);
+  let entries = L.Baseline.of_findings fs in
+  Alcotest.(check (list int))
+    "single entry with count 2" [ 2 ]
+    (List.map (fun (e : L.Baseline.entry) -> e.count) entries);
+  let cut =
+    List.map (fun e -> { e with L.Baseline.count = 1 }) entries
+  in
+  let classified, _ = L.Baseline.apply cut fs in
+  let news =
+    List.filter (fun (_, s) -> s = L.Baseline.New) classified |> List.length
+  in
+  Alcotest.(check int) "excess occurrence is new" 1 news;
+  (* and a baseline for findings the tree no longer produces goes stale *)
+  let _, stale = L.Baseline.apply entries [] in
+  Alcotest.(check int)
+    "all entries stale on empty run" (List.length entries) (List.length stale)
+
+let test_baseline_keeps_reasons () =
+  let fs = lint_as "r1_bare_float.ml" "lib/interval/r1_bare_float.ml" in
+  let entries = L.Baseline.of_findings fs in
+  let with_reason =
+    List.map (fun e -> { e with L.Baseline.reason = "checked by hand" }) entries
+  in
+  let rebuilt = L.Baseline.of_findings ~previous:with_reason fs in
+  Alcotest.(check bool)
+    "reasons survive regeneration" true
+    (List.for_all (fun (e : L.Baseline.entry) -> e.reason = "checked by hand") rebuilt)
+
+(* ----- the real tree: the linter gate itself ----- *)
+
+let test_repo_is_clean () =
+  (* the test runs from _build/default/test, so the copied library
+     sources sit at ../lib; lint them under their repo-relative names so
+     the scope rules apply.  Skip silently if the layout is unexpected
+     (e.g. installed tests). *)
+  let lib = Filename.concat ".." "lib" in
+  if Sys.file_exists lib && Sys.is_directory lib then begin
+    let files = L.Driver.collect_ml_files [ lib ] in
+    let fs =
+      List.concat_map
+        (fun file ->
+          let repo_path =
+            String.sub file 3 (String.length file - 3) (* drop "../" *)
+          in
+          let ic = open_in_bin file in
+          let src =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          L.Driver.lint_source ~path:repo_path src)
+        files
+    in
+    let p1 =
+      List.filter (fun f -> F.severity f.F.rule = F.P1) fs
+      |> List.map F.to_string
+    in
+    Alcotest.(check (list string)) "no P1 findings in lib/" [] p1
+  end
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "r1 bare float" `Quick test_r1;
+          Alcotest.test_case "r1 scope" `Quick test_r1_scope;
+          Alcotest.test_case "r1 shadowing" `Quick test_r1_shadowing;
+          Alcotest.test_case "r2 float compare" `Quick test_r2;
+          Alcotest.test_case "r3 mutable + mutex" `Quick test_r3;
+          Alcotest.test_case "r4 poly compare" `Quick test_r4;
+          Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "parse failure" `Quick test_parse_failure;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "deliberate regression" `Quick
+            test_deliberate_regression;
+          Alcotest.test_case "repo lib/ is clean" `Quick test_repo_is_clean;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "budget and stale" `Quick
+            test_baseline_budget_and_stale;
+          Alcotest.test_case "keeps reasons" `Quick test_baseline_keeps_reasons;
+        ] );
+    ]
