@@ -616,6 +616,126 @@ let e12 () =
   Printf.printf "cache report written to %s\n" !cache_out
 
 (* ------------------------------------------------------------------ *)
+(* E13: leaf scheduler - work-stealing frontier vs per-cell queue       *)
+(* ------------------------------------------------------------------ *)
+
+let leaf_out = ref "BENCH_leaf_sched.json"
+
+let e13 () =
+  section "E13 / leaf scheduler - work-stealing frontier vs per-cell queue";
+  (* a deliberately skewed partition: a handful of cells next to the
+     collision cylinder refine to max_depth while their neighbours prove
+     at depth 0.  Under the per-cell queue the hard cells serialize on
+     whichever worker picked them up; the leaf frontier fans their
+     subtrees out across all workers *)
+  let sys = S.system ~networks:(Lazy.force networks) () in
+  let cells =
+    if !tiny then
+      List.map snd (S.initial_cells ~arcs:12 ~headings:4 ~arc_indices:[ 6 ] ())
+    else
+      List.map snd
+        (S.initial_cells ~arcs:12 ~headings:6 ~arc_indices:[ 2; 3 ] ())
+  in
+  let max_depth = if !tiny then 1 else 2 in
+  let config ~scheduler ~workers =
+    {
+      Verify.default_config with
+      reach = { Reach.default_config with keep_sets = false };
+      strategy = Verify.All_dims [ D.ix; D.iy; D.ipsi ];
+      max_depth;
+      workers;
+      scheduler;
+    }
+  in
+  (* same verdict signature as E12: the scheduler must be invisible in
+     the results — only the wall clock may move *)
+  let leaf_sig (l : Verify.leaf) =
+    let r =
+      match l.Verify.result with
+      | Verify.Completed Reach.Proved_safe -> "safe"
+      | Verify.Completed (Reach.Reached_error { step }) ->
+          Printf.sprintf "unsafe@%d" step
+      | Verify.Completed Reach.Horizon_exhausted -> "horizon"
+      | Verify.Failed _ -> "failed"
+    in
+    Printf.sprintf "%d:%b:%s" l.Verify.depth l.Verify.proved r
+  in
+  let signature (report : Verify.report) =
+    List.sort compare
+      (List.map
+         (fun (c : Verify.cell_report) ->
+           (c.Verify.index, List.map leaf_sig c.Verify.leaves))
+         report.Verify.cells)
+  in
+  let m_steals = Nncs_obs.Metrics.counter "verify.steals" in
+  let run label scheduler workers =
+    let s0 = Nncs_obs.Metrics.value m_steals in
+    let t0 = now () in
+    let report =
+      Verify.verify_partition ~config:(config ~scheduler ~workers) sys cells
+    in
+    let dt = now () -. t0 in
+    let steals = Nncs_obs.Metrics.value m_steals - s0 in
+    Printf.printf
+      "%-12s %8.2f s   coverage %5.1f%%   steals %5d\n%!" label dt
+      report.Verify.coverage steals;
+    (signature report, report.Verify.coverage, dt, steals)
+  in
+  let sig_seq, coverage, t_seq, _ = run "sequential" Verify.Cells 1 in
+  let variant workers =
+    let sig_c, _, t_c, _ = run (Printf.sprintf "cells/%d" workers) Verify.Cells workers in
+    let sig_l, _, t_l, steals =
+      run (Printf.sprintf "leaves/%d" workers) Verify.Leaves workers
+    in
+    let ok = sig_c = sig_seq && sig_l = sig_seq in
+    (workers, t_c, t_l, steals, ok)
+  in
+  let variants = List.map variant [ 4; 8 ] in
+  let verdicts_match = List.for_all (fun (_, _, _, _, ok) -> ok) variants in
+  List.iter
+    (fun (w, t_c, t_l, _, _) ->
+      Printf.printf "workers=%d: leaves %.2fx vs cells (%.2f s -> %.2f s)\n" w
+        (if t_l > 0.0 then t_c /. t_l else 0.0)
+        t_c t_l)
+    variants;
+  Printf.printf "verdicts identical across schedulers: %b\n" verdicts_match;
+  let module J = Nncs_obs.Json in
+  (* wall-clock comparisons only mean something relative to the host's
+     core count: on a single-core CI runner every multi-domain config
+     loses to sequential (stop-the-world GC synchronizes all domains),
+     and the frontier's whole point — keeping every domain busy — makes
+     it the worst off.  Record the cores so readers can tell *)
+  Printf.printf "host cores (recommended domains): %d\n"
+    (Domain.recommended_domain_count ());
+  let json =
+    J.Obj
+      ([
+         ("tiny", J.Bool !tiny);
+         ("host_cores", J.Num (float_of_int (Domain.recommended_domain_count ())));
+         ("cells", J.Num (float_of_int (List.length cells)));
+         ("max_depth", J.Num (float_of_int max_depth));
+         ("coverage_pct", J.Num coverage);
+         ("t_sequential_s", J.Num t_seq);
+         ("verdicts_match", J.Bool verdicts_match);
+       ]
+      @ List.concat_map
+          (fun (w, t_c, t_l, steals, _) ->
+            [
+              (Printf.sprintf "t_cells_%d_s" w, J.Num t_c);
+              (Printf.sprintf "t_leaves_%d_s" w, J.Num t_l);
+              ( Printf.sprintf "speedup_leaves_%d" w,
+                J.Num (if t_l > 0.0 then t_c /. t_l else 0.0) );
+              (Printf.sprintf "steals_%d" w, J.Num (float_of_int steals));
+            ])
+          variants)
+  in
+  let oc = open_out !leaf_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "leaf-scheduler report written to %s\n" !leaf_out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels behind the experiments      *)
 (* ------------------------------------------------------------------ *)
 
@@ -722,12 +842,13 @@ let () =
   in
   let summary = List.find_map (prefixed "--summary=") args in
   Option.iter (fun p -> cache_out := p) (List.find_map (prefixed "--cache-out=") args);
+  Option.iter (fun p -> leaf_out := p) (List.find_map (prefixed "--leaf-out=") args);
   if List.mem "--tiny" args then tiny := true;
   let args = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
   let all =
     [ ("e1", e1); ("e1b", e1b); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-      ("e12", e12) ]
+      ("e12", e12); ("e13", e13) ]
   in
   let want name = args = [] || List.mem name args in
   if List.mem "timing" args then bechamel_suite ()

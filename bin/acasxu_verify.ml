@@ -17,7 +17,7 @@ module Budget = Nncs_resilience.Budget
 module Journal = Nncs_resilience.Journal
 
 let run dir arcs headings arc_sel gamma msteps order domain nn_splits
-    max_depth workers abs_cache abs_cache_quantum cell_deadline
+    max_depth workers scheduler abs_cache abs_cache_quantum cell_deadline
     cell_ode_budget cell_state_budget journal_path resume tiny csv trace
     quiet =
   let _, networks =
@@ -59,41 +59,83 @@ let run dir arcs headings arc_sel gamma msteps order domain nn_splits
           max_symstates = cell_state_budget;
         };
       degrade = true;
+      scheduler;
     }
   in
   let states = List.map snd cells in
-  (* checkpoint/resume: load finished cells from the journal, then keep
-     appending to it as new ones finish *)
-  let completed =
+  let fp = Verify.fingerprint ~config sys states in
+  (* checkpoint/resume: load finished cells (and, under the leaf
+     scheduler, journaled terminal leaves of interrupted cells) from the
+     journal, then keep appending to it as new work finishes.  A journal
+     written for a different partition, spec or analysis config is
+     refused: its cell indices and verdicts would be meaningless here. *)
+  let resumed =
     match journal_path with
     | Some path when resume && Sys.file_exists path -> (
-        let meta_total, cells = Verify.load_journal path in
-        match meta_total with
-        | Some t when t <> total ->
+        let j = Verify.load_journal path in
+        match (j.Verify.meta_fingerprint, j.Verify.meta_total) with
+        | Some fp', _ when fp' <> fp ->
             Printf.eprintf
-              "journal %s is for a %d-cell partition, this run has %d: ignoring it\n%!"
+              "error: journal %s has problem fingerprint %s but this run's \
+               is %s\n\
+               (different partition, spec or analysis configuration) — \
+               refusing --resume.\n\
+               Delete the journal or rerun with the original settings.\n%!"
+              path fp' fp;
+            Error 2
+        | _, Some t when t <> total ->
+            Printf.eprintf
+              "error: journal %s is for a %d-cell partition, this run has \
+               %d: refusing --resume\n%!"
               path t total;
-            []
-        | _ ->
-            let cells = List.filter (fun c -> c.Verify.index < total) cells in
+            Error 2
+        | mfp, _ ->
+            if mfp = None then
+              Printf.eprintf
+                "warning: journal %s predates problem fingerprints; \
+                 resuming without the compatibility check\n%!"
+                path;
+            let completed =
+              List.filter
+                (fun c -> c.Verify.index < total)
+                j.Verify.completed_cells
+            in
+            let partial =
+              List.filter (fun (i, _) -> i < total) j.Verify.partial_leaves
+            in
             if not quiet then
-              Printf.eprintf "resumed %d cell(s) from journal %s\n%!"
-                (List.length cells) path;
-            cells)
-    | _ -> []
+              Printf.eprintf
+                "resumed %d cell(s) and %d mid-cell leaf group(s) from \
+                 journal %s\n\
+                 %!"
+                (List.length completed) (List.length partial) path;
+            Ok (completed, partial))
+    | _ -> Ok ([], [])
   in
+  match resumed with
+  | Error code -> code
+  | Ok (completed, partial) ->
   let writer =
     match journal_path with
     | None -> None
     | Some path ->
-        let append = completed <> [] in
+        let append = completed <> [] || partial <> [] in
         let w = Journal.create ~append path in
-        if not append then Journal.write w (Verify.journal_meta ~total);
+        if not append then
+          Journal.write w (Verify.journal_meta ~total ~fingerprint:fp);
         Some w
   in
   let on_cell =
     Option.map
       (fun w c -> Journal.write w (Verify.cell_report_to_json c))
+      writer
+  in
+  let on_leaf =
+    (* mid-cell checkpoints only matter under the leaf scheduler (the
+       cell scheduler never fires the hook) *)
+    Option.map
+      (fun w cell path leaf ->
+        Journal.write w (Verify.leaf_record_to_json ~cell ~path leaf))
       writer
   in
   let progress =
@@ -106,7 +148,10 @@ let run dir arcs headings arc_sel gamma msteps order domain nn_splits
   (* start the trace epoch after network loading/training so the wall
      clock of the dump covers exactly the verification run *)
   if trace <> None then Nncs_obs.Trace.enable ();
-  let report = Verify.verify_partition ~config ?progress ?on_cell ~completed sys states in
+  let report =
+    Verify.verify_partition ~config ?progress ?on_cell ?on_leaf ~completed
+      ~partial sys states
+  in
   Option.iter Journal.close writer;
   (match trace with
   | None -> ()
@@ -192,6 +237,17 @@ let nn_splits = Arg.(value & opt int 0 & info [ "nn-splits" ] ~doc:"Input bisect
 let max_depth = Arg.(value & opt int 2 & info [ "max-depth" ] ~doc:"Split-refinement depth.")
 let workers = Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Parallel domains.")
 
+let scheduler =
+  Arg.(
+    value
+    & opt (enum [ ("cells", Verify.Cells); ("leaves", Verify.Leaves) ]) Verify.Cells
+    & info [ "scheduler" ]
+        ~doc:
+          "Work scheduler: $(b,cells) (one task per partition cell) or \
+           $(b,leaves) (work-stealing leaf frontier — refinement children \
+           of a hard cell fan out across all workers; enables mid-cell \
+           --resume).  Verdicts and coverage are identical either way.")
+
 let abs_cache =
   Arg.(
     value & opt int 0
@@ -268,7 +324,7 @@ let cmd =
     (Cmd.info "acasxu_verify" ~doc:"Verify the ACAS Xu closed loop by reachability")
     Term.(
       const run $ dir $ arcs $ headings $ arc_sel $ gamma $ msteps $ order
-      $ domain $ nn_splits $ max_depth $ workers $ abs_cache
+      $ domain $ nn_splits $ max_depth $ workers $ scheduler $ abs_cache
       $ abs_cache_quantum $ cell_deadline $ cell_ode_budget
       $ cell_state_budget $ journal $ resume $ tiny $ csv $ trace $ quiet)
 

@@ -16,6 +16,16 @@ let grid box ~cells =
           let iv = B.get b dim in
           let lo = I.lo iv and hi = I.hi iv in
           let w = (hi -. lo) /. float_of_int n in
+          (* [hi -. lo] overflows to infinity on whole-range boxes (and a
+             degenerate bound at infinity yields NaN): every cell bound
+             derived from such a width is garbage, so fail loudly instead
+             of emitting infinite/NaN cells *)
+          if not (Float.is_finite w) then
+            invalid_arg
+              (Printf.sprintf
+                 "Partition.grid: non-finite cell width in dimension %d \
+                  (bounds [%h, %h])"
+                 dim lo hi);
           List.init n (fun k ->
               let a = if k = 0 then lo else lo +. (float_of_int k *. w) in
               let z = if k = n - 1 then hi else lo +. (float_of_int (k + 1) *. w) in

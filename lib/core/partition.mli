@@ -3,7 +3,11 @@
 
 val grid : Nncs_interval.Box.t -> cells:int array -> Nncs_interval.Box.t list
 (** Uniform grid subdivision, [cells.(i)] pieces along dimension i.
-    The returned boxes cover the input exactly. *)
+    The returned boxes cover the input exactly.  Raises
+    [Invalid_argument] (naming the dimension) when a subdivided
+    dimension's computed cell width is not finite — e.g. a whole-range
+    box whose [hi - lo] overflows — instead of silently producing
+    infinite or NaN cell bounds. *)
 
 val with_command : int -> Nncs_interval.Box.t list -> Symstate.t list
 (** Pair every box with the same initial command. *)

@@ -20,9 +20,17 @@ let m_unknown_leaves = Metrics.counter "resilience.unknown_leaves"
 let m_worker_crashes = Metrics.counter "resilience.worker_crashes"
 let m_requeued_cells = Metrics.counter "resilience.requeued_cells"
 
+(* leaf-scheduler instruments (see DESIGN.md "Leaf scheduler") *)
+let m_steals = Metrics.counter "verify.steals"
+let m_requeued_leaves = Metrics.counter "resilience.requeued_leaves"
+let m_replayed_leaves = Metrics.counter "verify.replayed_leaves"
+let h_frontier = Metrics.histogram "verify.frontier_size"
+
 type split_strategy =
   | All_dims of int list
   | Most_influential of { candidates : int list; take : int }
+
+type scheduler = Cells | Leaves
 
 type config = {
   reach : Reach.config;
@@ -31,6 +39,7 @@ type config = {
   workers : int;
   limits : Budget.limits;
   degrade : bool;
+  scheduler : scheduler;
 }
 
 let default_config =
@@ -41,6 +50,7 @@ let default_config =
     workers = 1;
     limits = Budget.unlimited;
     degrade = true;
+    scheduler = Cells;
   }
 
 (* Influence of a dimension on the controller decision: bisect the cell
@@ -68,7 +78,19 @@ let influence_order sys (cell : Symstate.t) candidates =
     [@lint.fp_exact "split-ordering heuristic: any dimension order is sound"]
   in
   let scored = List.map (fun d -> (d, score d)) candidates in
-  List.map fst (List.sort (fun (_, a) (_, b) -> compare a b) scored)
+  (* [Float.compare] with NaN pushed to the back: polymorphic [compare]
+     (and Float.compare alone) orders NaN *below* every number, so a
+     NaN score — e.g. the width of a degenerate half-box at infinity —
+     would silently win the "most influential" slot and waste the
+     bisection on a useless dimension *)
+  let cmp (_, a) (_, b) =
+    match (Float.is_nan a, Float.is_nan b) with
+    | true, true -> 0
+    | true, false -> 1
+    | false, true -> -1
+    | false, false -> Float.compare a b
+  in
+  List.map fst (List.sort cmp scored)
 
 let dims_to_split config sys cell =
   match config.strategy with
@@ -284,31 +306,18 @@ let crashed_cell_report index st msg =
     elapsed = 0.0;
   }
 
-let verify_partition ?(config = default_config) ?progress ?on_cell
-    ?(completed = []) sys cells =
-  let t0 = now () in
-  let cells_arr = Array.of_list cells in
-  let total = Array.length cells_arr in
-  let results = Array.make total None in
-  List.iter
-    (fun (c : cell_report) ->
-      if c.index >= 0 && c.index < total then results.(c.index) <- Some c)
-    completed;
-  let initially_done =
-    Array.fold_left (fun n r -> if r = None then n else n + 1) 0 results
-  in
-  (* a shared atomic counter so the parallel path reports each finished
-     cell live (the callback then runs on the worker's domain) *)
-  let done_count = Atomic.make initially_done in
+(* ----- the per-cell scheduler (config.scheduler = Cells) -----
+
+   The original flat work queue: each pending cell index is one task; a
+   worker runs the cell's whole refinement tree to completion. *)
+
+let run_cells ~config ~count_once ~on_cell ~(results : cell_report option array)
+    ~(cells_arr : Symstate.t array) sys pending =
   let run_one i =
     let r = verify_cell ~config ~index:i sys cells_arr.(i) in
     (match on_cell with Some f -> f r | None -> ());
-    let d = Atomic.fetch_and_add done_count 1 + 1 in
-    (match progress with Some f -> f (min d total) total | None -> ());
+    count_once i;
     r
-  in
-  let pending =
-    List.filter (fun i -> results.(i) = None) (List.init total Fun.id)
   in
   let n_pending = List.length pending in
   if config.workers <= 1 || n_pending <= 1 then
@@ -336,7 +345,8 @@ let verify_partition ?(config = default_config) ?progress ?on_cell
                  Metrics.incr m_worker_crashes;
                  out :=
                    (i, crashed_cell_report i cells_arr.(i) (Printexc.to_string e))
-                   :: !out);
+                   :: !out;
+                 count_once i);
               pull ()
             end
           in
@@ -353,7 +363,9 @@ let verify_partition ?(config = default_config) ?progress ?on_cell
                in-flight cells are still None and will be re-queued *)
             Metrics.incr m_worker_crashes)
       domains;
-    (* crash recovery: re-run every cell no surviving worker reported *)
+    (* crash recovery: re-run every cell no surviving worker reported.
+       [count_once] keeps [progress] honest here: a re-run of a cell the
+       dead worker had already counted must not count again. *)
     Array.iteri
       (fun i r ->
         if r = None then begin
@@ -361,7 +373,410 @@ let verify_partition ?(config = default_config) ?progress ?on_cell
           results.(i) <- Some (run_one i)
         end)
       results
-  end;
+  end
+
+(* ----- the leaf-frontier scheduler (config.scheduler = Leaves) -----
+
+   One shared, depth- and width-prioritized deque of *leaves*: when a
+   leaf fails to prove and is split, its children go back onto the
+   global frontier that every worker domain pulls from, so the deep
+   refinement of one hard cell fans out across all cores instead of
+   serializing on the domain that happened to pick the cell up.
+
+   Priority: deepest first (a hard cell's subtree completes, bounding
+   both the frontier size and the time to its journal record), widest
+   box first within a depth (the likely-slowest leaves start earliest —
+   LPT-style makespan insurance), and any leaf whose per-cell budget
+   deadline has already passed jumps the queue (it terminates in
+   microseconds and clears its cell's bookkeeping).
+
+   Determinism: a leaf is identified by its path (the child indices
+   from the cell's root); splitting is a deterministic function of the
+   leaf's state, so the set of terminal leaves is independent of the
+   execution order, and sorting each cell's completed leaves by path
+   reproduces exactly the depth-first leaf order of the sequential
+   path.  See DESIGN.md "Leaf scheduler". *)
+
+type task = {
+  t_cell : int;
+  t_path : int list;  (* child indices from the root; root = [] *)
+  t_state : Symstate.t;
+  t_depth : int;
+  t_width : float;
+  t_done : bool Atomic.t;  (* claim flag: completion is idempotent *)
+}
+
+let compare_paths = List.compare Int.compare
+
+module Frontier = struct
+  type t = {
+    mutex : Mutex.t;
+    buckets : task list array;  (* index = depth *)
+    mutable size : int;
+  }
+
+  let create depths =
+    { mutex = Mutex.create (); buckets = Array.make (max 1 depths) []; size = 0 }
+
+  let with_lock f fn =
+    Mutex.lock f.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock f.mutex) fn
+
+  let push f task =
+    with_lock f (fun () ->
+        let d = min task.t_depth (Array.length f.buckets - 1) in
+        f.buckets.(d) <- task :: f.buckets.(d);
+        f.size <- f.size + 1)
+
+  let pop ~expired f =
+    with_lock f (fun () ->
+        let rec deepest d =
+          if d < 0 then None
+          else
+            match f.buckets.(d) with
+            | [] -> deepest (d - 1)
+            | ts -> Some (d, ts)
+        in
+        match deepest (Array.length f.buckets - 1) with
+        | None -> None
+        | Some (d, ts) ->
+            let pick =
+              match List.find_opt expired ts with
+              | Some t -> t
+              | None ->
+                  List.fold_left
+                    (fun best t ->
+                      if Float.compare t.t_width best.t_width > 0 then t
+                      else best)
+                    (List.hd ts) ts
+            in
+            f.buckets.(d) <- List.filter (fun t -> t != pick) ts;
+            f.size <- f.size - 1;
+            Metrics.observe h_frontier (float_of_int f.size);
+            Some pick)
+end
+
+let run_leaves ~config ~count_once ~on_cell ~on_leaf ~partial
+    ~(results : cell_report option array) ~(cells_arr : Symstate.t array) sys
+    pending =
+  if config.max_depth < 0 then
+    invalid_arg "Verify.verify_partition: negative depth";
+  (match config.strategy with
+  | (All_dims [] | Most_influential { candidates = []; _ })
+    when config.max_depth > 0 ->
+      invalid_arg "Verify.verify_partition: no split dimensions"
+  | All_dims _ | Most_influential _ -> ());
+  let total = Array.length cells_arr in
+  let factor = float_of_int (1 lsl strategy_arity config.strategy) in
+  let frontier = Frontier.create (config.max_depth + 1) in
+  (* one budget per cell, shared by all of its leaves across domains
+     (Budget counters are atomic; the deadline is an absolute stamp) —
+     created lazily so the wall clock starts at the cell's first leaf *)
+  let budgets = Array.init total (fun _ -> Atomic.make None) in
+  let budget_for i =
+    match Atomic.get budgets.(i) with
+    | Some b -> b
+    | None ->
+        let b = Budget.start config.limits in
+        if Atomic.compare_and_set budgets.(i) None (Some b) then b
+        else
+          (match Atomic.get budgets.(i) with
+          | Some b -> b
+          | None -> assert false)
+  in
+  let expired task =
+    match Atomic.get budgets.(task.t_cell) with
+    | Some b -> Budget.expired b
+    | None -> false
+  in
+  let cell_pending = Array.init total (fun _ -> Atomic.make 0) in
+  let cell_owner = Array.init total (fun _ -> Atomic.make (-1)) in
+  let live = Atomic.make 0 in
+  let acc : (int list * leaf) list array = Array.make total [] in
+  let acc_mutex = Mutex.create () in
+  (* mid-cell resume: terminal leaves recorded by an interrupted run are
+     replayed without recomputation; every proper prefix of a recorded
+     path is a node the interrupted run decided to split, so it is
+     re-split (deterministically) without re-running its reachability *)
+  let recorded : (int * int list, leaf) Hashtbl.t = Hashtbl.create 64 in
+  let known_split : (int * int list, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (i, leaves) ->
+      if i >= 0 && i < total then
+        List.iter
+          (fun (path, leaf) ->
+            Hashtbl.replace recorded (i, path) leaf;
+            let rec prefixes pre = function
+              | [] -> ()
+              | k :: rest ->
+                  Hashtbl.replace known_split (i, List.rev pre) ();
+                  prefixes (k :: pre) rest
+            in
+            prefixes [] path)
+          leaves)
+    partial;
+  let mk_task cell path depth st =
+    {
+      t_cell = cell;
+      t_path = path;
+      t_state = st;
+      t_depth = depth;
+      t_width = Nncs_interval.Box.max_width st.Symstate.box;
+      t_done = Atomic.make false;
+    }
+  in
+  (* callbacks run only after all counters are consistent, and behind a
+     crash guard: a raising journal hook must degrade observability, not
+     wedge the scheduler *)
+  let safely fn =
+    try fn () with e when not (Firewall.fatal e) -> Metrics.incr m_worker_crashes
+  in
+  let finish_cell c =
+    let raw =
+      Mutex.lock acc_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock acc_mutex)
+        (fun () -> acc.(c))
+    in
+    let leaves =
+      List.sort (fun (p, _) (q, _) -> compare_paths p q) raw |> List.map snd
+    in
+    let proved_fraction =
+      (List.fold_left
+         (fun a l ->
+           if l.proved then a +. (1.0 /. (factor ** float_of_int l.depth))
+           else a)
+         0.0 leaves)
+      [@lint.fp_exact
+        "progress accounting for reports: verdicts come from the leaf \
+         proofs, not from this number"]
+    in
+    let elapsed =
+      (List.fold_left (fun a (l : leaf) -> a +. l.elapsed) 0.0 leaves)
+      [@lint.fp_exact "wall-clock telemetry (sum of per-leaf compute time)"]
+    in
+    let report = { index = c; leaves; proved_fraction; elapsed } in
+    results.(c) <- Some report;
+    Metrics.incr m_cells;
+    report
+  in
+  let complete_terminal ?(replay = false) task leaf =
+    if not (Atomic.exchange task.t_done true) then begin
+      Mutex.lock acc_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock acc_mutex)
+        (fun () -> acc.(task.t_cell) <- (task.t_path, leaf) :: acc.(task.t_cell));
+      let rem = Atomic.fetch_and_add cell_pending.(task.t_cell) (-1) - 1 in
+      let report = if rem = 0 then Some (finish_cell task.t_cell) else None in
+      ignore (Atomic.fetch_and_add live (-1));
+      (if not replay then
+         safely (fun () ->
+             match on_leaf with
+             | Some f -> f task.t_cell task.t_path leaf
+             | None -> ()));
+      match report with
+      | Some r ->
+          safely (fun () ->
+              match on_cell with Some f -> f r | None -> ());
+          safely (fun () -> count_once task.t_cell)
+      | None -> ()
+    end
+  in
+  let push_children task children =
+    if not (Atomic.exchange task.t_done true) then begin
+      let n = List.length children in
+      ignore (Atomic.fetch_and_add cell_pending.(task.t_cell) (n - 1));
+      ignore (Atomic.fetch_and_add live (n - 1));
+      List.iteri
+        (fun k st ->
+          Frontier.push frontier
+            (mk_task task.t_cell (task.t_path @ [ k ]) (task.t_depth + 1) st))
+        children
+    end
+  in
+  let task_key task =
+    String.concat "." (List.map string_of_int (task.t_cell :: task.t_path))
+  in
+  let process task =
+    match Hashtbl.find_opt recorded (task.t_cell, task.t_path) with
+    | Some leaf ->
+        Metrics.incr m_replayed_leaves;
+        complete_terminal ~replay:true task leaf
+    | None ->
+        if
+          task.t_depth < config.max_depth
+          && Hashtbl.mem known_split (task.t_cell, task.t_path)
+        then begin
+          match
+            Firewall.protect ~classify:Reach.classify (fun () ->
+                Symstate.split task.t_state (dims_to_split config sys task.t_state))
+          with
+          | Ok children -> push_children task children
+          | Error f ->
+              complete_terminal task
+                (unknown_leaf ~depth:task.t_depth task.t_state f)
+        end
+        else begin
+          let budget = budget_for task.t_cell in
+          match
+            (* the per-leaf firewall: anything the ladder did not absorb
+               (strategy evaluation, splitting, injected faults, plain
+               bugs) degrades this one leaf — its siblings, and the rest
+               of its own cell, go on *)
+            Firewall.protect ~classify:Reach.classify (fun () ->
+                Fault.trigger ~key:(task_key task) "verify.leaf";
+                let verdict, rungs, dt = run_leaf config budget sys task.t_state in
+                Metrics.incr m_leaves;
+                let proved =
+                  match verdict with
+                  | Ok r -> Reach.is_proved_safe r
+                  | Error _ -> false
+                in
+                if proved then Metrics.incr m_proved_leaves;
+                let out_of_budget =
+                  match verdict with
+                  | Error (Failure_.Budget_exceeded _) -> true
+                  | _ -> false
+                in
+                if proved || task.t_depth >= config.max_depth || out_of_budget
+                then
+                  `Terminal
+                    (match verdict with
+                    | Ok r ->
+                        {
+                          state = task.t_state;
+                          depth = task.t_depth;
+                          proved;
+                          result = Completed r.Reach.outcome;
+                          rungs;
+                          elapsed = dt;
+                        }
+                    | Error f ->
+                        unknown_leaf ~rungs ~elapsed:dt ~depth:task.t_depth
+                          task.t_state f)
+                else
+                  `Split
+                    (Symstate.split task.t_state
+                       (dims_to_split config sys task.t_state)))
+          with
+          | Ok (`Terminal leaf) -> complete_terminal task leaf
+          | Ok (`Split children) -> push_children task children
+          | Error f ->
+              complete_terminal task
+                (unknown_leaf ~depth:task.t_depth task.t_state f)
+        end
+  in
+  let rec worker_loop ?(backoff = 2e-4) w =
+    match Frontier.pop ~expired frontier with
+    | None ->
+        if Atomic.get live > 0 then begin
+          (* leaves are ms-to-seconds of reachability: sleep-polling with
+             exponential backoff (0.2 ms doubling to 20 ms) is cheaper
+             and simpler than a condition variable, immune to lost
+             wakeups from dying workers, and — critically on
+             oversubscribed hosts — stops idle domains from stealing
+             timeslices from the one computing a long leaf *)
+          Unix.sleepf backoff;
+          worker_loop
+            ~backoff:
+              ((Float.min 2e-2 (2.0 *. backoff))
+              [@lint.fp_exact "idle-poll backoff: scheduling, not analysis"])
+            w
+        end
+    | Some task ->
+        let prev = Atomic.exchange cell_owner.(task.t_cell) w in
+        let stolen = prev >= 0 && prev <> w in
+        if stolen then Metrics.incr m_steals;
+        (try
+           Span.with_ "verify.leaf"
+             ~attrs:
+               [
+                 ("cell", Nncs_obs.Trace.Int task.t_cell);
+                 ("depth", Nncs_obs.Trace.Int task.t_depth);
+                 ("worker", Nncs_obs.Trace.Int w);
+                 ("stolen", Nncs_obs.Trace.Bool stolen);
+               ]
+             (fun () -> process task)
+         with e ->
+           if Firewall.fatal e then begin
+             (* hand the orphan back before dying: the subtree rooted
+                here is re-queued for the surviving workers (or for the
+                main-domain recovery sweep) *)
+             if not (Atomic.get task.t_done) then begin
+               Metrics.incr m_requeued_leaves;
+               Frontier.push frontier task
+             end;
+             raise e
+           end
+           else begin
+             Metrics.incr m_worker_crashes;
+             complete_terminal task
+               (unknown_leaf ~depth:task.t_depth task.t_state
+                  (Failure_.Worker_crashed (Printexc.to_string e)))
+           end);
+        worker_loop w
+  in
+  List.iter
+    (fun i ->
+      Atomic.set cell_pending.(i) 1;
+      ignore (Atomic.fetch_and_add live 1);
+      Frontier.push frontier (mk_task i [] 0 cells_arr.(i)))
+    pending;
+  if pending <> [] then
+    if config.workers <= 1 then worker_loop 0
+    else begin
+      let domains =
+        List.init config.workers (fun w ->
+            Domain.spawn (fun () ->
+                Span.with_ "verify.worker"
+                  ~attrs:[ ("worker", Nncs_obs.Trace.Int w) ]
+                  (fun () -> worker_loop w)))
+      in
+      List.iter
+        (fun d ->
+          match Domain.join d with
+          | () -> ()
+          | exception _ -> Metrics.incr m_worker_crashes)
+        domains;
+      (* recovery sweep: if every worker died, the re-queued orphans and
+         their cells finish in this domain *)
+      if Atomic.get live > 0 then worker_loop config.workers
+    end
+
+let verify_partition ?(config = default_config) ?progress ?on_cell ?on_leaf
+    ?(completed = []) ?(partial = []) sys cells =
+  let t0 = now () in
+  let cells_arr = Array.of_list cells in
+  let total = Array.length cells_arr in
+  let results = Array.make total None in
+  List.iter
+    (fun (c : cell_report) ->
+      if c.index >= 0 && c.index < total then results.(c.index) <- Some c)
+    completed;
+  let initially_done =
+    Array.fold_left (fun n r -> if r = None then n else n + 1) 0 results
+  in
+  (* a shared atomic counter so the parallel paths report each finished
+     cell live (the callback then runs on the worker's domain); each
+     index is counted at most once, so crash-recovery re-runs cannot
+     push [progress] past [total] (they are surfaced through the
+     [resilience.requeued_*] counters instead) *)
+  let done_count = Atomic.make initially_done in
+  let counted = Array.init total (fun i -> Atomic.make (results.(i) <> None)) in
+  let count_once i =
+    if not (Atomic.exchange counted.(i) true) then begin
+      let d = Atomic.fetch_and_add done_count 1 + 1 in
+      match progress with Some f -> f d total | None -> ()
+    end
+  in
+  let pending =
+    List.filter (fun i -> results.(i) = None) (List.init total Fun.id)
+  in
+  (match config.scheduler with
+  | Cells -> run_cells ~config ~count_once ~on_cell ~results ~cells_arr sys pending
+  | Leaves ->
+      run_leaves ~config ~count_once ~on_cell ~on_leaf ~partial ~results
+        ~cells_arr sys pending);
   let cell_reports =
     Array.to_list results
     |> List.map (function Some r -> r | None -> assert false)
@@ -380,6 +795,84 @@ let verify_partition ?(config = default_config) ?progress ?on_cell
     unknown_cells = List.length (List.filter cell_has_failure cell_reports);
     total_cells = total;
   }
+
+(* ----- problem fingerprint -----
+
+   A journal is only resumable against the exact partition and spec it
+   was written for: the cell indices it stores are positions in the cell
+   list, and the verdicts are relative to one erroneous set, horizon and
+   analysis config.  The fingerprint hashes a canonical rendering of all
+   of those; [Spec.t] is opaque (bare predicates), so the specs
+   contribute their names plus their sampled answers on every cell —
+   any spec change that could flip a stored verdict on some cell flips
+   at least one probe bit with overwhelming probability. *)
+
+let fnv1a64 (s : string) =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let fingerprint ?(config = default_config) sys cells =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let addfl x = addf "%.17g;" x in
+  let cmds = sys.System.controller.Controller.commands in
+  addf "commands:%d:%d;" (Command.size cmds) (Command.dim cmds);
+  for i = 0 to Command.size cmds - 1 do
+    Array.iter addfl (Command.value cmds i)
+  done;
+  addf "horizon:%d;" sys.System.horizon_steps;
+  addfl sys.System.controller.Controller.period;
+  addf "erroneous:%s;target:%s;" sys.System.erroneous.Spec.name
+    sys.System.target.Spec.name;
+  let r = config.reach in
+  addf "reach:%d:%d:%d:%s:%b;" r.Reach.integration_steps r.Reach.taylor_order
+    r.Reach.gamma
+    (match r.Reach.scheme with
+    | Nncs_ode.Simulate.Direct -> "direct"
+    | Nncs_ode.Simulate.Lohner -> "lohner")
+    r.Reach.early_abort;
+  addf "nn:%s:%d;"
+    (match sys.System.controller.Controller.domain with
+    | Nncs_nnabs.Transformer.Interval -> "interval"
+    | Nncs_nnabs.Transformer.Symbolic -> "symbolic"
+    | Nncs_nnabs.Transformer.Affine -> "affine")
+    sys.System.controller.Controller.nn_splits;
+  (match config.strategy with
+  | All_dims dims ->
+      addf "strategy:all";
+      List.iter (addf ":%d") dims;
+      addf ";"
+  | Most_influential { candidates; take } ->
+      addf "strategy:influence:%d" take;
+      List.iter (addf ":%d") candidates;
+      addf ";");
+  addf "depth:%d;degrade:%b;" config.max_depth config.degrade;
+  List.iteri
+    (fun i (st : Symstate.t) ->
+      addf "cell:%d:%d;" i st.Symstate.cmd;
+      let b = st.Symstate.box in
+      let n = B.dim b in
+      let center = Array.make n 0.0 in
+      for d = 0 to n - 1 do
+        let iv = B.get b d in
+        addfl (I.lo iv);
+        addfl (I.hi iv);
+        center.(d) <-
+          (0.5 *. (I.lo iv +. I.hi iv))
+          [@lint.fp_exact "fingerprint probe point: any in-cell point works"]
+      done;
+      addf "probe:%b:%b:%b:%b;"
+        (sys.System.erroneous.Spec.intersects_box st)
+        (sys.System.erroneous.Spec.contains_box st)
+        (sys.System.target.Spec.contains_box st)
+        (sys.System.erroneous.Spec.contains_point center st.Symstate.cmd))
+    cells;
+  Printf.sprintf "%016Lx" (fnv1a64 (Buffer.contents buf))
 
 (* ----- journal serialization -----
 
@@ -485,30 +978,66 @@ let cell_report_of_json j =
       | _ -> raise (Json.Parse_error "cell: leaves not a list"));
   }
 
-let journal_meta ~total =
+let journal_meta ~total ~fingerprint =
   Json.Obj
     [
       ("t", Json.Str "meta");
       ("kind", Json.Str "nncs-verify-journal");
-      ("version", Json.Num 1.0);
+      ("version", Json.Num 2.0);
       ("total", Json.Num (float_of_int total));
+      ("fingerprint", Json.Str fingerprint);
     ]
+
+(* a terminal leaf completed inside a still-unfinished cell — the
+   leaf-scheduler journals these so [--resume] restarts mid-cell *)
+let leaf_record_to_json ~cell ~path leaf =
+  Json.Obj
+    [
+      ("t", Json.Str "leaf");
+      ("cell", Json.Num (float_of_int cell));
+      ("path", Json.List (List.map (fun k -> Json.Num (float_of_int k)) path));
+      ("leaf", leaf_to_json leaf);
+    ]
+
+let leaf_record_of_json j =
+  let cell = Json.to_int (get ~what:"leaf record" j "cell") in
+  let path =
+    match get ~what:"leaf record" j "path" with
+    | Json.List ks -> List.map Json.to_int ks
+    | _ -> raise (Json.Parse_error "leaf record: path not a list")
+  in
+  (cell, path, leaf_of_json (get ~what:"leaf record" j "leaf"))
+
+type journal_contents = {
+  meta_total : int option;
+  meta_fingerprint : string option;
+  completed_cells : cell_report list;
+  partial_leaves : (int * (int list * leaf) list) list;
+}
 
 let load_journal path =
   let lines = Nncs_resilience.Journal.load path in
+  let tag j = Json.member "t" j in
   let meta_total =
     List.find_map
       (fun j ->
-        if Json.member "t" j = Some (Json.Str "meta") then
+        if tag j = Some (Json.Str "meta") then
           Option.map Json.to_int (Json.member "total" j)
+        else None)
+      lines
+  in
+  let meta_fingerprint =
+    List.find_map
+      (fun j ->
+        if tag j = Some (Json.Str "meta") then
+          Option.map Json.to_str (Json.member "fingerprint" j)
         else None)
       lines
   in
   let cells =
     List.filter_map
       (fun j ->
-        if Json.member "t" j = Some (Json.Str "cell") then
-          Some (cell_report_of_json j)
+        if tag j = Some (Json.Str "cell") then Some (cell_report_of_json j)
         else None)
       lines
   in
@@ -516,8 +1045,29 @@ let load_journal path =
      a cell that was in flight when its predecessor died *)
   let tbl = Hashtbl.create 64 in
   List.iter (fun c -> Hashtbl.replace tbl c.index c) cells;
-  let dedup =
+  let completed_cells =
     Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
-    |> List.sort (fun a b -> compare a.index b.index)
+    |> List.sort (fun a b -> Int.compare a.index b.index)
   in
-  (meta_total, dedup)
+  (* leaf records for cells without a full report: last record per
+     (cell, path) wins, same reasoning as above *)
+  let leaf_tbl : (int * int list, leaf) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun j ->
+      if tag j = Some (Json.Str "leaf") then begin
+        let cell, p, leaf = leaf_record_of_json j in
+        if not (Hashtbl.mem tbl cell) then
+          Hashtbl.replace leaf_tbl (cell, p) leaf
+      end)
+    lines;
+  let by_cell : (int, (int list * leaf) list) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (cell, p) leaf ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_cell cell) in
+      Hashtbl.replace by_cell cell ((p, leaf) :: prev))
+    leaf_tbl;
+  let partial_leaves =
+    Hashtbl.fold (fun cell ls acc -> (cell, ls) :: acc) by_cell []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  { meta_total; meta_fingerprint; completed_cells; partial_leaves }

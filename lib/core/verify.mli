@@ -23,6 +23,16 @@ type split_strategy =
           controller scores on the cell, and bisect only the [take] most
           influential ones (2^take children) *)
 
+type scheduler =
+  | Cells
+      (** the flat work queue: one task per partition cell, a worker runs
+          the cell's whole refinement tree *)
+  | Leaves
+      (** the leaf-frontier work-stealing scheduler: split children go
+          back onto a shared depth- and width-prioritized frontier that
+          all workers pull from, so one hard cell's refinement fans out
+          across every core (see DESIGN.md "Leaf scheduler") *)
+
 type config = {
   reach : Reach.config;
   strategy : split_strategy;
@@ -30,15 +40,18 @@ type config = {
   workers : int;  (** parallel domains for independent cells (>= 1) *)
   limits : Nncs_resilience.Budget.limits;
       (** per-cell budget, shared by all of the cell's leaves and
-          degradation retries *)
+          degradation retries (in [Leaves] mode the sharing spans
+          domains: the step counter is atomic and the deadline is an
+          absolute stamp) *)
   degrade : bool;
       (** walk the degradation ladder before returning Unknown (on by
           default; off = a single attempt per leaf) *)
+  scheduler : scheduler;
 }
 
 val default_config : config
 (** Paper setup: reach defaults, [All_dims [0;1;2]], depth 2, serial,
-    unlimited budget, degradation on. *)
+    unlimited budget, degradation on, [Cells] scheduler. *)
 
 type leaf_result =
   | Completed of Reach.outcome  (** the reach analysis ran to a verdict *)
@@ -89,7 +102,9 @@ val verify_partition :
   ?config:config ->
   ?progress:(int -> int -> unit) ->
   ?on_cell:(cell_report -> unit) ->
+  ?on_leaf:(int -> int list -> leaf -> unit) ->
   ?completed:cell_report list ->
+  ?partial:(int * (int list * leaf) list) list ->
   System.t ->
   Symstate.t list ->
   report
@@ -97,17 +112,43 @@ val verify_partition :
     after each cell when provided).  Cells are independent; with
     [workers > 1] they are pulled from a shared queue by that many
     domains, so [progress] and [on_cell] fire live from the worker that
-    finished the cell — both callbacks must tolerate concurrent
+    finished the cell — all callbacks must tolerate concurrent
     invocation.  [on_cell] is the journaling hook: it receives each
     freshly computed report (but not the pre-[completed] ones).
+    [progress] counts every cell index at most once, so crash-recovery
+    re-runs never push it past [total] — re-execution is surfaced only
+    through the [resilience.requeued_cells] / [resilience.requeued_leaves]
+    metrics.
 
-    Fault isolation: a cell whose analysis escapes every firewall is
-    recorded as [Unknown (Worker_crashed _)]; a worker domain that dies
-    forfeits only its unreported cells, which are re-queued and run in
-    the calling domain ([resilience.requeued_cells] counts them).
+    With [config.scheduler = Leaves], refinement children are scheduled
+    on a shared leaf frontier instead of staying with their cell's
+    worker: deepest-first (completes subtrees, bounding the frontier),
+    widest-first within a depth (LPT-style), and budget-expired leaves
+    jump the queue.  [on_leaf cell path leaf] then fires for every
+    freshly computed {e terminal} leaf ([path] is the child-index path
+    from the cell's root, [[]] for an unsplit cell) — the mid-cell
+    journaling hook.  Reports are reassembled deterministically: leaves
+    are sorted by path, which equals the sequential depth-first order,
+    so verdicts, leaves and coverage are identical to the [Cells]
+    scheduler's (and the single-worker run's) whenever verdicts are
+    budget-independent; per-leaf [elapsed] telemetry naturally varies
+    between runs.
 
-    [completed] (e.g. from {!load_journal}) pre-fills results by
-    [index]; those cells are skipped, not recomputed. *)
+    Fault isolation: a cell (or, under [Leaves], a single leaf) whose
+    analysis escapes every firewall is recorded as
+    [Unknown (Worker_crashed _)]; a worker domain that dies forfeits
+    only its unreported work, which is re-queued and run by the
+    surviving workers or the calling domain
+    ([resilience.requeued_cells] / [resilience.requeued_leaves]).
+
+    [completed] (e.g. {!load_journal}[.completed_cells]) pre-fills
+    results by [index]; those cells are skipped, not recomputed.
+    [partial] ({!load_journal}[.partial_leaves]) replays terminal
+    leaves of interrupted cells under the [Leaves] scheduler: recorded
+    leaves are not recomputed (and not re-journaled through [on_leaf]),
+    interior nodes on the way to them re-split deterministically
+    without re-running reachability.  [partial] is ignored by the
+    [Cells] scheduler. *)
 
 val coverage_of_cells : cell_report list -> float
 
@@ -129,11 +170,42 @@ val cell_report_of_json : Nncs_obs.Json.t -> cell_report
 val leaf_to_json : leaf -> Nncs_obs.Json.t
 val leaf_of_json : Nncs_obs.Json.t -> leaf
 
-val journal_meta : total:int -> Nncs_obs.Json.t
-(** The journal header line, recording the partition size so a resume
-    against a different partition is detected. *)
+val fingerprint : ?config:config -> System.t -> Symstate.t list -> string
+(** A 16-hex-digit digest of the verification problem: the partition
+    (cell boxes and commands), the command set, horizon and period, the
+    spec names plus their sampled answers on every cell, and the
+    analysis config (reach parameters, abstraction domain, split
+    strategy, depth, degradation).  Two runs with the same fingerprint
+    store compatible journals; a resume against a differing fingerprint
+    must be refused — the journal's cell indices and verdicts would be
+    meaningless.  [Spec.t] holds opaque predicates, so spec changes are
+    detected through the per-cell probe bits rather than the predicate
+    text. *)
 
-val load_journal : string -> int option * cell_report list
-(** Parse a journal file: the meta line's [total] (if present) and the
-    completed cell reports, deduplicated by index (last record wins),
-    sorted by index.  Tolerates a truncated final line. *)
+val journal_meta : total:int -> fingerprint:string -> Nncs_obs.Json.t
+(** The journal header line, recording the partition size and the
+    problem {!fingerprint} so a resume against a different partition or
+    spec is detected. *)
+
+val leaf_record_to_json : cell:int -> path:int list -> leaf -> Nncs_obs.Json.t
+(** A terminal leaf completed inside a still-unfinished cell, journaled
+    by the [Leaves] scheduler's [on_leaf] hook so [--resume] can restart
+    mid-cell. *)
+
+val leaf_record_of_json : Nncs_obs.Json.t -> int * int list * leaf
+
+type journal_contents = {
+  meta_total : int option;  (** the meta line's [total], if present *)
+  meta_fingerprint : string option;
+      (** the meta line's problem fingerprint (absent in v1 journals) *)
+  completed_cells : cell_report list;
+      (** full cell reports, deduplicated by index (last record wins),
+          sorted by index *)
+  partial_leaves : (int * (int list * leaf) list) list;
+      (** per cell {e without} a full report: its journaled terminal
+          leaves keyed by path (last record per path wins), sorted by
+          cell — feed to [verify_partition ~partial] *)
+}
+
+val load_journal : string -> journal_contents
+(** Parse a journal file.  Tolerates a truncated final line. *)

@@ -39,6 +39,11 @@ let check_deadline t =
   | Some d when Unix.gettimeofday () >= d -> raise (Exhausted Failure.Deadline)
   | _ -> ()
 
+let expired t =
+  match t.deadline with
+  | Some d -> Unix.gettimeofday () >= d
+  | None -> false
+
 let add_ode_steps t n =
   match t.max_ode_steps with
   | None -> ()

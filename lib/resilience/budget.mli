@@ -38,6 +38,11 @@ val none : t
 val check_deadline : t -> unit
 (** Raises [Exhausted Deadline] once the wall clock passes the stamp. *)
 
+val expired : t -> bool
+(** Non-raising probe of the deadline: has the wall clock passed the
+    stamp?  Always [false] for deadline-less budgets.  Schedulers use it
+    to fast-track work items whose budget is already gone. *)
+
 val add_ode_steps : t -> int -> unit
 (** Account [n] integrator sub-steps; raises [Exhausted Ode_steps] when
     the running total crosses the cap. *)

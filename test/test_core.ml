@@ -334,6 +334,24 @@ let test_partition_grid () =
   let hull = List.fold_left B.hull (List.hd cells) cells in
   check "cells cover" true (B.equal hull b)
 
+let test_partition_grid_rejects_nonfinite_width () =
+  (* hi - lo overflows to infinity: every derived cell bound would be
+     infinite or NaN, so the failure must be loud and name the culprit *)
+  let m = Float.max_float in
+  let whole = B.of_bounds [| (0.0, 1.0); (-.m, m) |] in
+  (match Partition.grid whole ~cells:[| 1; 2 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      check "error names the dimension" true (contains msg "dimension 1"));
+  (* an unsplit overflowing dimension is fine: its bounds pass through *)
+  Alcotest.(check int) "unsplit dimension untouched" 3
+    (List.length (Partition.grid whole ~cells:[| 3; 1 |]))
+
 let test_partition_ring () =
   (* each arc bounding box must contain its arc's endpoints *)
   let arcs = 8 and radius = 100.0 in
@@ -548,6 +566,8 @@ let () =
           Alcotest.test_case "split refinement" `Quick test_verify_split_refinement;
           Alcotest.test_case "parallel agrees" `Quick test_verify_parallel_agrees;
           Alcotest.test_case "grid partition" `Quick test_partition_grid;
+          Alcotest.test_case "grid rejects non-finite width" `Quick
+            test_partition_grid_rejects_nonfinite_width;
           Alcotest.test_case "ring partition" `Quick test_partition_ring;
         ] );
     ]

@@ -340,7 +340,10 @@ let with_temp_journal f =
 
 let run_journaled ~path ?completed sys cells =
   Journal.with_writer path (fun w ->
-      Journal.write w (Verify.journal_meta ~total:(List.length cells));
+      Journal.write w
+        (Verify.journal_meta
+           ~total:(List.length cells)
+           ~fingerprint:(Verify.fingerprint ~config:(config ()) sys cells));
       Verify.verify_partition ~config:(config ())
         ~on_cell:(fun c -> Journal.write w (Verify.cell_report_to_json c))
         ?completed sys cells)
@@ -350,8 +353,10 @@ let test_journal_roundtrip () =
       let sys = homing_system () in
       let cells = grid 4 in
       let report = run_journaled ~path sys cells in
-      let total, loaded = Verify.load_journal path in
-      Alcotest.(check (option int)) "meta total" (Some 4) total;
+      let j = Verify.load_journal path in
+      let loaded = j.Verify.completed_cells in
+      Alcotest.(check (option int)) "meta total" (Some 4) j.Verify.meta_total;
+      check "meta has a fingerprint" true (j.Verify.meta_fingerprint <> None);
       Alcotest.(check int) "all cells journaled" 4 (List.length loaded);
       List.iter2
         (fun (a : Verify.cell_report) (b : Verify.cell_report) ->
@@ -375,7 +380,7 @@ let test_journal_resume_skips_completed () =
           let sys = homing_system () in
           let cells = grid 4 in
           let full = run_journaled ~path sys cells in
-          let _, loaded = Verify.load_journal path in
+          let loaded = (Verify.load_journal path).Verify.completed_cells in
           let completed =
             List.filter (fun (c : Verify.cell_report) -> c.Verify.index < 2)
               loaded
@@ -404,10 +409,10 @@ let test_journal_tolerates_truncated_tail () =
       let oc = open_out_bin path in
       output_string oc (String.sub contents 0 cut);
       close_out oc;
-      let total, loaded = Verify.load_journal path in
-      Alcotest.(check (option int)) "meta survives" (Some 3) total;
+      let j = Verify.load_journal path in
+      Alcotest.(check (option int)) "meta survives" (Some 3) j.Verify.meta_total;
       Alcotest.(check int) "only the torn record is lost" 2
-        (List.length loaded))
+        (List.length j.Verify.completed_cells))
 
 let () =
   Alcotest.run "resilience"
