@@ -500,6 +500,29 @@ let e11 () =
 
 let cache_out = ref "BENCH_abs_cache.json"
 
+(* Verdict signature shared by E12/E13/E14: caching, scheduling and
+   serving must be invisible in the results — only the wall clock may
+   move.  Quantized cache lookups may widen score boxes, but only
+   towards supersets of the command choices; on the benched partitions
+   the verdicts must agree leaf for leaf. *)
+let bench_leaf_sig (l : Verify.leaf) =
+  let r =
+    match l.Verify.result with
+    | Verify.Completed Reach.Proved_safe -> "safe"
+    | Verify.Completed (Reach.Reached_error { step }) ->
+        Printf.sprintf "unsafe@%d" step
+    | Verify.Completed Reach.Horizon_exhausted -> "horizon"
+    | Verify.Failed _ -> "failed"
+  in
+  Printf.sprintf "%d:%b:%s" l.Verify.depth l.Verify.proved r
+
+let report_signature (report : Verify.report) =
+  List.sort compare
+    (List.map
+       (fun (c : Verify.cell_report) ->
+         (c.Verify.index, List.map bench_leaf_sig c.Verify.leaves))
+       report.Verify.cells)
+
 let e12 () =
   section "E12 / abs cache - F# memoization: hit rate and speedup";
   (* input splitting (cf. E6's sym+split column) multiplies the per-query
@@ -518,7 +541,9 @@ let e12 () =
   (* quantum 0 = exact keys: the cached runs are bitwise-identical to the
      uncached one, so the verdict-equality gate below is strict (quantized
      widening is exercised by the soundness tests instead) *)
-  let cache_config = { Nncs_nnabs.Cache.capacity = 65536; quantum = 0.0 } in
+  let cache_config =
+    { Nncs_nnabs.Cache.capacity = 65536; quantum = 0.0; shards = 8 }
+  in
   let config abs_cache =
     {
       Verify.default_config with
@@ -530,28 +555,7 @@ let e12 () =
       workers = 1;
     }
   in
-  (* the verdict signature must be invariant under caching: quantized
-     lookups may widen score boxes, but only towards supersets of the
-     command choices, and on this partition the verdicts must agree
-     leaf for leaf *)
-  let leaf_sig (l : Verify.leaf) =
-    let r =
-      match l.Verify.result with
-      | Verify.Completed Reach.Proved_safe -> "safe"
-      | Verify.Completed (Reach.Reached_error { step }) ->
-          Printf.sprintf "unsafe@%d" step
-      | Verify.Completed Reach.Horizon_exhausted -> "horizon"
-      | Verify.Failed _ -> "failed"
-    in
-    Printf.sprintf "%d:%b:%s" l.Verify.depth l.Verify.proved r
-  in
-  let signature (report : Verify.report) =
-    List.sort compare
-      (List.map
-         (fun (c : Verify.cell_report) ->
-           (c.Verify.index, List.map leaf_sig c.Verify.leaves))
-         report.Verify.cells)
-  in
+  let signature = report_signature in
   let m_hits = Nncs_obs.Metrics.counter "nnabs.cache_hits" in
   let m_misses = Nncs_obs.Metrics.counter "nnabs.cache_misses" in
   let m_evictions = Nncs_obs.Metrics.counter "nnabs.cache_evictions" in
@@ -590,9 +594,11 @@ let e12 () =
     J.Obj
       [
         ("tiny", J.Bool !tiny);
+        ("host_cores", J.Num (float_of_int (Domain.recommended_domain_count ())));
         ("cells", J.Num (float_of_int (List.length cells)));
         ("capacity", J.Num (float_of_int cache_config.Nncs_nnabs.Cache.capacity));
         ("quantum", J.Num cache_config.Nncs_nnabs.Cache.quantum);
+        ("shards", J.Num (float_of_int cache_config.Nncs_nnabs.Cache.shards));
         ("t_uncached_s", J.Num t_plain);
         ("t_cold_s", J.Num t_cold);
         ("t_warm_s", J.Num t_warm);
@@ -647,26 +653,7 @@ let e13 () =
       scheduler;
     }
   in
-  (* same verdict signature as E12: the scheduler must be invisible in
-     the results — only the wall clock may move *)
-  let leaf_sig (l : Verify.leaf) =
-    let r =
-      match l.Verify.result with
-      | Verify.Completed Reach.Proved_safe -> "safe"
-      | Verify.Completed (Reach.Reached_error { step }) ->
-          Printf.sprintf "unsafe@%d" step
-      | Verify.Completed Reach.Horizon_exhausted -> "horizon"
-      | Verify.Failed _ -> "failed"
-    in
-    Printf.sprintf "%d:%b:%s" l.Verify.depth l.Verify.proved r
-  in
-  let signature (report : Verify.report) =
-    List.sort compare
-      (List.map
-         (fun (c : Verify.cell_report) ->
-           (c.Verify.index, List.map leaf_sig c.Verify.leaves))
-         report.Verify.cells)
-  in
+  let signature = report_signature in
   let m_steals = Nncs_obs.Metrics.counter "verify.steals" in
   let run label scheduler workers =
     let s0 = Nncs_obs.Metrics.value m_steals in
@@ -734,6 +721,162 @@ let e13 () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "leaf-scheduler report written to %s\n" !leaf_out
+
+(* ------------------------------------------------------------------ *)
+(* E14: verification service - memo and cache tiers vs full runs        *)
+(* ------------------------------------------------------------------ *)
+
+let serve_out = ref "BENCH_serve.json"
+
+let e14 () =
+  section "E14 / serve - resident verification service: cold vs warm vs memo";
+  let module Server = Nncs_serve.Server in
+  let module P = Nncs_serve.Protocol in
+  let module J = Nncs_obs.Json in
+  let nets = Lazy.force networks in
+  let make_system ~domain ~nn_splits =
+    S.system ~networks:nets ~domain ~nn_splits ()
+  in
+  let make_cells ~arcs ~headings ~arc_indices =
+    let arc_indices = match arc_indices with [] -> None | l -> Some l in
+    List.map snd (S.initial_cells ~arcs ~headings ?arc_indices ())
+  in
+  let cache =
+    { Nncs_nnabs.Cache.capacity = 65536; quantum = 0.0; shards = 8 }
+  in
+  (* a fresh abstraction cache for this experiment, even when E12 ran in
+     the same process and installed the shared slot already *)
+  Nncs_nnabs.Cache.clear (Nncs_nnabs.Cache.shared cache);
+  let server =
+    Server.create
+      { Server.dispatchers = 1; cache = Some cache; memo_path = None }
+      ~make_system ~make_cells
+  in
+  (* one job per arc slice; input splitting multiplies the F# share of
+     the work (cf. E12), the regime where the warm cache pays — the tiny
+     networks need more splits before F# dominates the ODE cost enough
+     for the warm/cold gap to be robust *)
+  let arc_sets = if !tiny then [ [ 6 ] ] else [ [ 2 ]; [ 3 ]; [ 4 ] ] in
+  let nn_splits = if !tiny then 6 else 2 in
+  let jobs = List.length arc_sets in
+  (* jobs are built as JSON and parsed through the wire codec, so the
+     bench exercises exactly the request path a remote client hits *)
+  let job id memo sel =
+    let json =
+      J.Obj
+        ([
+           ("t", J.Str "job");
+           ("id", J.Str id);
+           ( "partition",
+             J.Obj
+               [
+                 ("arcs", J.Num 12.0);
+                 ("headings", J.Num 4.0);
+                 ( "arc_indices",
+                   J.List (List.map (fun i -> J.Num (float_of_int i)) sel) );
+               ] );
+           ("nn_splits", J.Num (float_of_int nn_splits));
+           ("memo", J.Bool memo);
+         ]
+        (* in tiny mode also cut the validated-integration share (M=4):
+           the warm/cold gap measures the F# cache, not the ODE kernel *)
+        @ if !tiny then [ ("m", J.Num 4.0) ] else [])
+    in
+    match P.request_of_json json with
+    | Ok (P.Job job) -> job
+    | Ok _ -> Stdlib.failwith "bench request is not a job"
+    | Error reason -> Stdlib.failwith ("bench job failed to parse: " ^ reason)
+  in
+  let run_pass label memo =
+    (* (fingerprint, served from memo?) per verdict, submission order *)
+    let verdicts = ref [] in
+    let emit = function
+      | P.Verdict { fingerprint; source; _ } ->
+          let hit = match source with P.Memo -> true | P.Run -> false in
+          verdicts := (fingerprint, hit) :: !verdicts
+      | P.Job_error { id; reason } ->
+          Stdlib.failwith (Printf.sprintf "job %s failed: %s" id reason)
+      | _ -> ()
+    in
+    let t0 = now () in
+    List.iteri
+      (fun i sel ->
+        Server.submit server ~emit (job (Printf.sprintf "%s%d" label i) memo sel))
+      arc_sets;
+    let dt = now () -. t0 in
+    Printf.printf "%-6s %8.3f s   (%d jobs, %.1f ms/query)\n%!" label dt jobs
+      (1000.0 *. dt /. float_of_int jobs);
+    (dt, List.rev !verdicts)
+  in
+  let t_cold, cold_vs = run_pass "cold" false in
+  let t_warm, _ = run_pass "warm" false in
+  let t_memo, memo_vs = run_pass "memo" true in
+  let memo_all_hits =
+    List.length memo_vs = jobs && List.for_all snd memo_vs
+  in
+  (* the served verdicts must equal a one-shot acasxu_verify-style run:
+     same config, no cache, no server *)
+  let verdicts_match =
+    List.for_all2
+      (fun sel (fp, _) ->
+        let j = job "direct" false sel in
+        let sys =
+          make_system ~domain:j.P.domain ~nn_splits:j.P.nn_splits
+        in
+        let cells =
+          match j.P.cells with
+          | P.Explicit cells -> cells
+          | P.Partition { arcs; headings; arc_indices } ->
+              make_cells ~arcs ~headings ~arc_indices
+        in
+        let config =
+          {
+            j.P.config with
+            Verify.reach =
+              { j.P.config.Verify.reach with Reach.abs_cache = None };
+          }
+        in
+        let direct = Verify.verify_partition ~config sys cells in
+        match Server.lookup server fp with
+        | Some served -> report_signature served = report_signature direct
+        | None -> false)
+      arc_sets cold_vs
+  in
+  let warm_lt_cold = t_warm < t_cold in
+  let speedup dt = if dt > 0.0 then t_cold /. dt else 0.0 in
+  let queries_per_s =
+    if t_memo > 0.0 then float_of_int jobs /. t_memo else 0.0
+  in
+  Printf.printf
+    "warm < cold: %b (%.2fx)   memo: %.2fx, %.0f queries/s, all hits %b\n"
+    warm_lt_cold (speedup t_warm) (speedup t_memo) queries_per_s memo_all_hits;
+  Printf.printf "verdicts identical to one-shot runs: %b\n" verdicts_match;
+  let json =
+    J.Obj
+      [
+        ("tiny", J.Bool !tiny);
+        ("host_cores", J.Num (float_of_int (Domain.recommended_domain_count ())));
+        ("jobs", J.Num (float_of_int jobs));
+        ("nn_splits", J.Num (float_of_int nn_splits));
+        ("cache_capacity", J.Num (float_of_int cache.Nncs_nnabs.Cache.capacity));
+        ("cache_quantum", J.Num cache.Nncs_nnabs.Cache.quantum);
+        ("cache_shards", J.Num (float_of_int cache.Nncs_nnabs.Cache.shards));
+        ("t_cold_s", J.Num t_cold);
+        ("t_warm_s", J.Num t_warm);
+        ("t_memo_s", J.Num t_memo);
+        ("speedup_warm", J.Num (speedup t_warm));
+        ("speedup_memo", J.Num (speedup t_memo));
+        ("memo_queries_per_s", J.Num queries_per_s);
+        ("warm_lt_cold", J.Bool warm_lt_cold);
+        ("memo_all_hits", J.Bool memo_all_hits);
+        ("verdicts_match", J.Bool verdicts_match);
+      ]
+  in
+  let oc = open_out !serve_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "serve report written to %s\n" !serve_out
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels behind the experiments      *)
@@ -815,12 +958,15 @@ let bechamel_suite () =
 
 (* --summary=FILE: machine-readable per-experiment wall times plus the
    Nncs_obs metrics accumulated over the whole run — the baseline
-   artifact future perf PRs diff against. *)
+   artifact future perf PRs diff against.  Every bench artifact records
+   [host_cores]: wall-clock numbers from multi-domain experiments are
+   meaningless without the core count they ran on. *)
 let write_summary path timings =
   let module J = Nncs_obs.Json in
   let json =
     J.Obj
       [
+        ("host_cores", J.Num (float_of_int (Domain.recommended_domain_count ())));
         ( "experiments",
           J.Obj (List.map (fun (name, dt) -> (name, J.Num dt)) timings) );
         ("metrics", Nncs_obs.Metrics.snapshot_json ());
@@ -843,12 +989,13 @@ let () =
   let summary = List.find_map (prefixed "--summary=") args in
   Option.iter (fun p -> cache_out := p) (List.find_map (prefixed "--cache-out=") args);
   Option.iter (fun p -> leaf_out := p) (List.find_map (prefixed "--leaf-out=") args);
+  Option.iter (fun p -> serve_out := p) (List.find_map (prefixed "--serve-out=") args);
   if List.mem "--tiny" args then tiny := true;
   let args = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
   let all =
     [ ("e1", e1); ("e1b", e1b); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-      ("e12", e12); ("e13", e13) ]
+      ("e12", e12); ("e13", e13); ("e14", e14) ]
   in
   let want name = args = [] || List.mem name args in
   if List.mem "timing" args then bechamel_suite ()

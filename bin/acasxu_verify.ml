@@ -17,9 +17,9 @@ module Budget = Nncs_resilience.Budget
 module Journal = Nncs_resilience.Journal
 
 let run dir arcs headings arc_sel gamma msteps order domain nn_splits
-    max_depth workers scheduler abs_cache abs_cache_quantum cell_deadline
-    cell_ode_budget cell_state_budget journal_path resume tiny csv trace
-    quiet =
+    max_depth workers scheduler abs_cache abs_cache_quantum abs_cache_shards
+    cell_deadline cell_ode_budget cell_state_budget journal_path resume tiny
+    csv trace quiet =
   let _, networks =
     if tiny then
       T.load_or_train ~spec:T.tiny_spec ~policy_config:T.tiny_policy_config
@@ -47,6 +47,7 @@ let run dir arcs headings arc_sel gamma msteps order domain nn_splits
                  {
                    Nncs_nnabs.Cache.capacity = abs_cache;
                    quantum = abs_cache_quantum;
+                   shards = abs_cache_shards;
                  });
         };
       strategy = Verify.All_dims [ Nncs_acasxu.Defs.ix; Nncs_acasxu.Defs.iy; Nncs_acasxu.Defs.ipsi ];
@@ -252,8 +253,9 @@ let abs_cache =
   Arg.(
     value & opt int 0
     & info [ "abs-cache" ]
-        ~doc:"Per-worker F# memo table capacity (entries); 0 disables \
-              caching and leaves the abstraction bitwise-unchanged.")
+        ~doc:"F# memo table capacity (entries), shared by all worker \
+              domains; 0 disables caching and leaves the abstraction \
+              bitwise-unchanged.")
 
 let abs_cache_quantum =
   Arg.(
@@ -263,6 +265,14 @@ let abs_cache_quantum =
         ~doc:"Outward quantization grid of the cache key, in normalised \
               network-input units; hits return a sound superset of the \
               exact F# box.  0 caches exact boxes only.")
+
+let abs_cache_shards =
+  Arg.(
+    value
+    & opt int Nncs_nnabs.Cache.default_config.Nncs_nnabs.Cache.shards
+    & info [ "abs-cache-shards" ]
+        ~doc:"Independently locked shards of the process-wide F# memo \
+              table (1 = a single exactly-LRU table).")
 
 let cell_deadline =
   Arg.(
@@ -325,7 +335,7 @@ let cmd =
     Term.(
       const run $ dir $ arcs $ headings $ arc_sel $ gamma $ msteps $ order
       $ domain $ nn_splits $ max_depth $ workers $ scheduler $ abs_cache
-      $ abs_cache_quantum $ cell_deadline $ cell_ode_budget
+      $ abs_cache_quantum $ abs_cache_shards $ cell_deadline $ cell_ode_budget
       $ cell_state_budget $ journal $ resume $ tiny $ csv $ trace $ quiet)
 
 let () = exit (Cmd.eval' cmd)

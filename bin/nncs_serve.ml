@@ -1,0 +1,157 @@
+(* The resident verification server for the ACAS Xu scenario: reads
+   JSONL jobs from stdin (or a Unix-domain socket), answers each from
+   the fingerprint-keyed verdict memo, the process-wide sharded F#
+   cache, or a full reachability run, and streams JSONL events back.
+   See DESIGN.md §12 for the protocol.
+
+   Example session (tiny models):
+     $ dune exec bin/nncs_serve.exe -- --dir /tmp/nets --tiny-models <<'EOF'
+     {"t":"job","id":"q1","partition":{"arcs":12,"headings":4,"arc_indices":[6]}}
+     {"t":"job","id":"q2","partition":{"arcs":12,"headings":4,"arc_indices":[6]}}
+     {"t":"stats"}
+     {"t":"shutdown"}
+     EOF
+   q2 is answered from the memo ("source":"memo") without re-running
+   the analysis. *)
+
+module S = Nncs_acasxu.Scenario
+module T = Nncs_acasxu.Training
+module Server = Nncs_serve.Server
+
+let serve_stdio server = ignore (Server.run server stdin stdout)
+
+let serve_socket server path quiet =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      if not quiet then Printf.eprintf "nncs_serve: listening on %s\n%!" path;
+      (* one connection at a time: jobs within a session already overlap
+         via the dispatcher domains, and verdict memo + abstraction
+         cache persist across sessions *)
+      let rec loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let outcome = Server.run server ic oc in
+        (try close_out_noerr oc with _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match outcome with
+        | `Shutdown -> if not quiet then Printf.eprintf "nncs_serve: shutdown\n%!"
+        | `Eof -> loop ()
+      in
+      loop ())
+
+let run dir tiny dispatchers abs_cache abs_cache_quantum abs_cache_shards memo
+    socket quiet =
+  let _, networks =
+    if tiny then
+      T.load_or_train ~spec:T.tiny_spec ~policy_config:T.tiny_policy_config
+        ~dir ()
+    else T.load_or_train ~dir ()
+  in
+  let make_system ~domain ~nn_splits = S.system ~networks ~domain ~nn_splits () in
+  let make_cells ~arcs ~headings ~arc_indices =
+    let arc_indices = match arc_indices with [] -> None | l -> Some l in
+    List.map snd (S.initial_cells ~arcs ~headings ?arc_indices ())
+  in
+  let config =
+    {
+      Server.dispatchers;
+      cache =
+        (if abs_cache <= 0 then None
+         else
+           Some
+             {
+               Nncs_nnabs.Cache.capacity = abs_cache;
+               quantum = abs_cache_quantum;
+               shards = abs_cache_shards;
+             });
+      memo_path = memo;
+    }
+  in
+  let server = Server.create config ~make_system ~make_cells in
+  Fun.protect
+    ~finally:(fun () -> Server.close server)
+    (fun () ->
+      match socket with
+      | None -> serve_stdio server
+      | Some path -> serve_socket server path quiet);
+  0
+
+open Cmdliner
+
+let dir =
+  Arg.(value & opt string "data" & info [ "dir" ] ~doc:"Network cache directory.")
+
+let tiny =
+  Arg.(
+    value & flag
+    & info [ "tiny-models" ]
+        ~doc:"Train deliberately tiny policy tables and networks (CI \
+              smoke tests; verdicts are meaningless).")
+
+let dispatchers =
+  Arg.(
+    value & opt int 1
+    & info [ "dispatchers" ]
+        ~doc:"Concurrent jobs; each job may additionally run with its \
+              own per-job $(b,workers) domains.")
+
+let abs_cache =
+  Arg.(
+    value & opt int 65536
+    & info [ "abs-cache" ]
+        ~doc:"Process-wide F# memo table capacity (entries), shared by \
+              every job and dispatcher; 0 disables caching.")
+
+let abs_cache_quantum =
+  Arg.(
+    value & opt float 0.0
+    & info [ "abs-cache-quantum" ]
+        ~doc:"Outward quantization grid of the cache key (0 caches exact \
+              boxes only, keeping served verdicts bitwise-identical to \
+              uncached runs).")
+
+let abs_cache_shards =
+  Arg.(
+    value
+    & opt int Nncs_nnabs.Cache.default_config.Nncs_nnabs.Cache.shards
+    & info [ "abs-cache-shards" ]
+        ~doc:"Independently locked shards of the F# memo table.")
+
+let memo =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "memo" ]
+        ~doc:"Back the fingerprint-keyed verdict memo with this JSONL \
+              journal: replayed on startup, appended on every new \
+              verdict.  Only valid for one network set.")
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ]
+        ~doc:"Listen on this Unix-domain socket instead of stdin/stdout \
+              (one JSONL session per connection; a shutdown request \
+              stops the server, end-of-stream only ends the session).")
+
+let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No startup banner.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "nncs_serve"
+       ~doc:"Resident multi-query verification server for the ACAS Xu \
+             closed loop")
+    Term.(
+      const run $ dir $ tiny $ dispatchers $ abs_cache $ abs_cache_quantum
+      $ abs_cache_shards $ memo $ socket $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -60,10 +60,10 @@ let analyze ?(config = default_config) ?(budget = Budget.none) sys r0 =
     invalid_arg "Reach.analyze: non-positive integration_steps";
   let ctrl = sys.System.controller in
   let plant = sys.System.plant in
-  (* the F# memo table lives per domain: worker domains of the parallel
-     driver never share it, and a single-domain caller keeps it warm
-     across successive analyses *)
-  let cache = Option.map Nncs_nnabs.Cache.for_domain config.abs_cache in
+  (* the F# memo table is process-wide and sharded: worker domains of
+     the parallel driver share it (per-shard locks), and a resident
+     multi-query server keeps it warm across successive jobs *)
+  let cache = Option.map Nncs_nnabs.Cache.shared config.abs_cache in
   let num_commands = Command.size ctrl.Controller.commands in
   let period = ctrl.Controller.period in
   let q = sys.System.horizon_steps in

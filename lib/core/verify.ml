@@ -1071,3 +1071,52 @@ let load_journal path =
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   { meta_total; meta_fingerprint; completed_cells; partial_leaves }
+
+(* ----- whole-report serialization -----
+
+   The verdict memo of a resident verification service (Nncs_serve)
+   stores and journals entire reports keyed by problem fingerprint, so a
+   repeated query replays the full per-cell answer without re-running
+   any analysis.  Round-trips exactly, like the per-cell records. *)
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("t", Json.Str "report");
+      ("coverage", Json.Num r.coverage);
+      ("elapsed", Json.Num r.elapsed);
+      ("proved_cells", Json.Num (float_of_int r.proved_cells));
+      ("unknown_cells", Json.Num (float_of_int r.unknown_cells));
+      ("total_cells", Json.Num (float_of_int r.total_cells));
+      ("cells", Json.List (List.map cell_report_to_json r.cells));
+    ]
+
+let report_of_json j =
+  {
+    cells =
+      (match get ~what:"report" j "cells" with
+      | Json.List cs -> List.map cell_report_of_json cs
+      | _ -> raise (Json.Parse_error "report: cells not a list"));
+    coverage = Json.to_float (get ~what:"report" j "coverage");
+    elapsed = Json.to_float (get ~what:"report" j "elapsed");
+    proved_cells = Json.to_int (get ~what:"report" j "proved_cells");
+    unknown_cells = Json.to_int (get ~what:"report" j "unknown_cells");
+    total_cells = Json.to_int (get ~what:"report" j "total_cells");
+  }
+
+(* ----- pre-parsed jobs -----
+
+   The unit of work of a resident verification service: a fully
+   resolved analysis configuration plus the initial cells.  The
+   fingerprint identifies the problem for memoization, so it is computed
+   here, once, next to the run it indexes. *)
+
+type job = { job_config : config; job_cells : Symstate.t list }
+
+let run_job ?progress ?on_cell sys job =
+  let fp = fingerprint ~config:job.job_config sys job.job_cells in
+  let report =
+    verify_partition ~config:job.job_config ?progress ?on_cell sys
+      job.job_cells
+  in
+  (fp, report)

@@ -208,4 +208,33 @@ type journal_contents = {
 }
 
 val load_journal : string -> journal_contents
-(** Parse a journal file.  Tolerates a truncated final line. *)
+(** Parse a journal file.  Malformed lines (e.g. a crash-truncated
+    partial record, possibly followed by later appends) are skipped with
+    a warning on stderr — see {!Nncs_resilience.Journal.load}. *)
+
+val report_to_json : report -> Nncs_obs.Json.t
+(** The whole report as one JSON object ({!cell_report_to_json} per
+    cell); round-trips exactly.  Used by the verification service's
+    fingerprint-keyed verdict memo. *)
+
+val report_of_json : Nncs_obs.Json.t -> report
+
+(** {1 Pre-parsed jobs}
+
+    The unit of work of a resident verification service
+    ([Nncs_serve]): a fully resolved analysis configuration plus the
+    initial cells. *)
+
+type job = { job_config : config; job_cells : Symstate.t list }
+
+val run_job :
+  ?progress:(int -> int -> unit) ->
+  ?on_cell:(cell_report -> unit) ->
+  System.t ->
+  job ->
+  string * report
+(** [run_job sys job] is the problem {!fingerprint} of the job together
+    with the {!verify_partition} report for it.  The fingerprint is
+    computed before the run, so a caller that finds it in a memo can
+    skip the run entirely; [progress] and [on_cell] are passed through
+    to {!verify_partition}. *)

@@ -6,9 +6,9 @@ let m_hits = Metrics.counter "nnabs.cache_hits"
 let m_misses = Metrics.counter "nnabs.cache_misses"
 let m_evictions = Metrics.counter "nnabs.cache_evictions"
 
-type config = { capacity : int; quantum : float }
+type config = { capacity : int; quantum : float; shards : int }
 
-let default_config = { capacity = 4096; quantum = 0.005 }
+let default_config = { capacity = 4096; quantum = 0.005; shards = 8 }
 
 type key = { net_id : int; cmd : int; tag : int; bounds : (float * float) array }
 
@@ -22,19 +22,23 @@ type entry = {
   mutable next : entry;
 }
 
-type t = {
-  config : config;
+(* One shard: an independent LRU table behind its own mutex.  The shard
+   of a key is a pure function of the key, so no operation ever needs
+   two shard locks — the locking discipline is "at most one shard lock,
+   never held across the abstraction computation". *)
+type shard = {
+  lock : Mutex.t;
   table : (key, entry) Hashtbl.t;
   sentinel : entry;
+  capacity : int;  (* per-shard entry bound *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
-let create config =
-  if config.capacity <= 0 then invalid_arg "Cache.create: non-positive capacity";
-  if not (Float.is_finite config.quantum) || config.quantum < 0.0 then
-    invalid_arg "Cache.create: quantum must be finite and >= 0";
+type t = { config : config; shards : shard array }
+
+let make_sentinel () =
   let rec sentinel =
     {
       key = { net_id = -1; cmd = -1; tag = 0; bounds = [||] };
@@ -43,24 +47,44 @@ let create config =
       next = sentinel;
     }
   in
+  sentinel
+
+let create (config : config) =
+  if config.capacity <= 0 then invalid_arg "Cache.create: non-positive capacity";
+  if not (Float.is_finite config.quantum) || config.quantum < 0.0 then
+    invalid_arg "Cache.create: quantum must be finite and >= 0";
+  if config.shards <= 0 then invalid_arg "Cache.create: non-positive shards";
+  let per_shard =
+    max 1 ((config.capacity + config.shards - 1) / config.shards)
+  in
   {
     config;
-    table = Hashtbl.create (min config.capacity 1024);
-    sentinel;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    shards =
+      Array.init config.shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create (min per_shard 1024);
+            sentinel = make_sentinel ();
+            capacity = per_shard;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
   }
+
+let with_lock sh f =
+  Mutex.lock sh.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) f
 
 let unlink e =
   e.prev.next <- e.next;
   e.next.prev <- e.prev
 
-let push_front t e =
-  e.next <- t.sentinel.next;
-  e.prev <- t.sentinel;
-  t.sentinel.next.prev <- e;
-  t.sentinel.next <- e
+let push_front sh e =
+  e.next <- sh.sentinel.next;
+  e.prev <- sh.sentinel;
+  sh.sentinel.next.prev <- e;
+  sh.sentinel.next <- e
 
 (* Outward snap of one bound to the grid.  [floor (lo / q) * q] is
    computed in round-to-nearest, so it can land on the wrong side of
@@ -111,66 +135,110 @@ let quantize_bounds quantum box =
 let quantize quantum box =
   if quantum <= 0.0 then box else B.of_bounds (quantize_bounds quantum box)
 
+let shard_for t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
 let find_or_compute t ~net_id ~cmd ?(tag = 0) box f =
   let bounds = quantize_bounds t.config.quantum box in
   let key = { net_id; cmd; tag; bounds } in
-  match Hashtbl.find_opt t.table key with
-  | Some e ->
-      t.hits <- t.hits + 1;
+  let sh = shard_for t key in
+  let cached =
+    with_lock sh (fun () ->
+        match Hashtbl.find_opt sh.table key with
+        | Some e ->
+            sh.hits <- sh.hits + 1;
+            unlink e;
+            push_front sh e;
+            Some e.value
+        | None ->
+            sh.misses <- sh.misses + 1;
+            None)
+  in
+  match cached with
+  | Some v ->
       Metrics.incr m_hits;
-      unlink e;
-      push_front t e;
-      e.value
+      v
   | None ->
-      t.misses <- t.misses + 1;
       Metrics.incr m_misses;
+      (* the abstraction runs OUTSIDE the shard lock: F# is the
+         expensive part, and holding the lock here would serialize every
+         domain whose keys land on this shard.  The price is that two
+         domains missing on the same key concurrently both compute it —
+         both results enclose F# of the same quantized box, so either is
+         sound; the insert below keeps the incumbent to maximise
+         sharing. *)
       let qbox = if t.config.quantum <= 0.0 then box else B.of_bounds bounds in
       let value = f qbox in
-      if Hashtbl.length t.table >= t.config.capacity then begin
-        let victim = t.sentinel.prev in
-        unlink victim;
-        Hashtbl.remove t.table victim.key;
-        t.evictions <- t.evictions + 1;
-        Metrics.incr m_evictions
-      end;
-      let e = { key; value; prev = t.sentinel; next = t.sentinel } in
-      Hashtbl.replace t.table key e;
-      push_front t e;
-      value
+      with_lock sh (fun () ->
+          match Hashtbl.find_opt sh.table key with
+          | Some e ->
+              unlink e;
+              push_front sh e;
+              e.value
+          | None ->
+              if Hashtbl.length sh.table >= sh.capacity then begin
+                let victim = sh.sentinel.prev in
+                unlink victim;
+                Hashtbl.remove sh.table victim.key;
+                sh.evictions <- sh.evictions + 1;
+                Metrics.incr m_evictions
+              end;
+              let e = { key; value; prev = sh.sentinel; next = sh.sentinel } in
+              Hashtbl.replace sh.table key e;
+              push_front sh e;
+              value)
 
 type stats = { hits : int; misses : int; evictions : int; size : int }
 
 let stats (t : t) =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    size = Hashtbl.length t.table;
-  }
+  Array.fold_left
+    (fun acc sh ->
+      with_lock sh (fun () ->
+          {
+            hits = acc.hits + sh.hits;
+            misses = acc.misses + sh.misses;
+            evictions = acc.evictions + sh.evictions;
+            size = acc.size + Hashtbl.length sh.table;
+          }))
+    { hits = 0; misses = 0; evictions = 0; size = 0 }
+    t.shards
+
+let shard_sizes (t : t) =
+  Array.map (fun sh -> with_lock sh (fun () -> Hashtbl.length sh.table)) t.shards
 
 let hit_rate (t : t) =
-  let total = t.hits + t.misses in
+  let s = stats t in
+  let total = s.hits + s.misses in
   if total = 0 then 0.0
   else
-    (float_of_int t.hits /. float_of_int total)
+    (float_of_int s.hits /. float_of_int total)
     [@lint.fp_exact "telemetry ratio"]
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.sentinel.next <- t.sentinel;
-  t.sentinel.prev <- t.sentinel
+  Array.iter
+    (fun sh ->
+      with_lock sh (fun () ->
+          Hashtbl.reset sh.table;
+          sh.sentinel.next <- sh.sentinel;
+          sh.sentinel.prev <- sh.sentinel))
+    t.shards
 
-(* One cache per domain: worker domains of [Verify.verify_partition]
-   never share mutable state, and a single-domain driver keeps its cache
-   warm across successive [Reach] calls. *)
-let dls_key : (config * t) option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
+(* One cache per process: every worker domain — and, in a resident
+   server, every job dispatched on any domain — shares the same sharded
+   table, so an F# box computed once is reusable across the whole
+   process lifetime.  The slot swap is mutex-protected; the table itself
+   is safe to use concurrently (per-shard locks). *)
+let shared_mutex = Mutex.create ()
+let shared_slot : (config * t) option ref = ref None
+[@@lint.guarded_by "shared_mutex"]
 
-let for_domain config =
-  let slot = Domain.DLS.get dls_key in
-  match !slot with
-  | Some (c, t) when c = config -> t
-  | _ ->
-      let t = create config in
-      slot := Some (config, t);
-      t
+let shared config =
+  Mutex.lock shared_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock shared_mutex)
+    (fun () ->
+      match !shared_slot with
+      | Some (c, t) when c = config -> t
+      | _ ->
+          let t = create config in
+          shared_slot := Some (config, t);
+          t)

@@ -1,10 +1,24 @@
-(** Memo table for controller-abstraction (F#) results.
+(** Process-wide sharded memo table for controller-abstraction (F#)
+    results.
 
-    Across a partitioned verification run the same (network, previous
-    command, input box) queries recur constantly — every control step of
-    every cell re-abstracts boxes that earlier steps already saw.  This
-    cache memoizes the output box of an abstract transformer keyed by
-    (network id, command, tag, outward-quantized input box).
+    Across a partitioned verification run — and, in a resident
+    multi-query server, across {e jobs} — the same (network, previous
+    command, input box) queries recur constantly: every control step of
+    every cell re-abstracts boxes that earlier steps, other worker
+    domains, or earlier jobs already saw.  This cache memoizes the
+    output box of an abstract transformer keyed by (network id, command,
+    tag, outward-quantized input box).
+
+    {b Concurrency.} The table is thread-safe: entries are distributed
+    over [config.shards] independent LRU tables, each behind its own
+    mutex, chosen by a hash of the key.  The locking discipline is: at
+    most one shard lock is ever held, and never across the underlying
+    abstraction computation — a miss releases the lock, runs [f], and
+    re-locks to insert.  Two domains missing on the same key
+    concurrently may therefore both compute it; both results enclose F#
+    of the same quantized box, so either is sound, and the insert keeps
+    the incumbent.  Per-shard LRU is exact; the process-wide eviction
+    order is only approximately LRU (each shard evicts its own oldest).
 
     Soundness of quantized lookup: the input box is widened outward onto
     a grid of pitch [quantum] before both the lookup and the underlying
@@ -14,40 +28,46 @@
     (possibly wider) enclosure; [quantum = 0.0] disables widening and
     only ever reuses bitwise-identical queries.
 
-    The table is NOT thread-safe; use one instance per worker domain
-    ({!for_domain}).  Hit/miss/eviction totals are additionally
-    published process-wide through [Nncs_obs.Metrics] under
-    [nnabs.cache_hits] / [nnabs.cache_misses] / [nnabs.cache_evictions].
+    Hit/miss/eviction totals are additionally published process-wide
+    through [Nncs_obs.Metrics] under [nnabs.cache_hits] /
+    [nnabs.cache_misses] / [nnabs.cache_evictions].
 
     {b Soundness of the key.} The cache knows nothing about network
     weights: [net_id] is trusted to identify the function being
-    abstracted.  Because {!for_domain} keeps one table alive across
-    successive analyses — possibly of entirely different systems —
-    [net_id] MUST be a process-unique identity of the network (use
-    [Nncs_nn.Network.uid], as [Controller.abstract_scores] does), never
-    an index that is only meaningful within one controller.  Keying on
-    a local index silently serves one network's abstraction boxes for
-    another's, an unsound result with no warning. *)
+    abstracted.  Because {!shared} keeps one table alive for the whole
+    process — across analyses, worker domains and server jobs, possibly
+    of entirely different systems — [net_id] MUST be a process-unique
+    identity of the network (use [Nncs_nn.Network.uid], as
+    [Controller.abstract_scores] does), never an index that is only
+    meaningful within one controller.  Keying on a local index silently
+    serves one network's abstraction boxes for another's, an unsound
+    result with no warning. *)
 
 type config = {
-  capacity : int;  (** maximum number of entries; oldest-used evicted *)
+  capacity : int;
+      (** maximum number of entries over all shards; each shard evicts
+          its own oldest-used entry at [capacity / shards] *)
   quantum : float;  (** quantization grid pitch; 0.0 = exact keys *)
+  shards : int;
+      (** number of independently locked LRU tables (>= 1); 1 restores
+          a single exactly-LRU table *)
 }
 
 val default_config : config
-(** [{ capacity = 4096; quantum = 0.005 }] — the quantum is expressed in
-    the network's (normalised) input units. *)
+(** [{ capacity = 4096; quantum = 0.005; shards = 8 }] — the quantum is
+    expressed in the network's (normalised) input units. *)
 
 type t
 
 val create : config -> t
 (** A fresh, empty cache.  Raises [Invalid_argument] on a non-positive
-    capacity or a negative / non-finite quantum. *)
+    capacity or shard count, or a negative / non-finite quantum. *)
 
-val for_domain : config -> t
-(** The calling domain's cache, created on first use (domain-local
-    storage).  A subsequent call with a different [config] replaces the
-    domain's cache with a fresh one. *)
+val shared : config -> t
+(** The process-wide cache, created on first use and shared by every
+    domain (thread-safe).  A subsequent call with a different [config]
+    replaces the shared cache with a fresh one; callers running
+    concurrent analyses should agree on one config. *)
 
 val find_or_compute :
   t ->
@@ -59,12 +79,12 @@ val find_or_compute :
   Nncs_interval.Box.t
 (** [find_or_compute t ~net_id ~cmd ~tag box f] returns the cached
     output for the quantized key if present, else runs [f qbox] on the
-    outward-quantized box, stores and returns the result.  [net_id]
-    must uniquely identify the network across the table's whole
-    lifetime — pass [Nncs_nn.Network.uid], not an array index (see the
-    soundness note above).  [tag] (default 0) distinguishes
-    otherwise-identical queries that must not share entries — e.g.
-    different abstract domains or split depths. *)
+    outward-quantized box (outside the shard lock), stores and returns
+    the result.  [net_id] must uniquely identify the network across the
+    table's whole lifetime — pass [Nncs_nn.Network.uid], not an array
+    index (see the soundness note above).  [tag] (default 0)
+    distinguishes otherwise-identical queries that must not share
+    entries — e.g. different abstract domains or split depths. *)
 
 val quantize : float -> Nncs_interval.Box.t -> Nncs_interval.Box.t
 (** The outward-quantized box ([quantum <= 0.0] returns the input
@@ -74,8 +94,13 @@ val quantize : float -> Nncs_interval.Box.t -> Nncs_interval.Box.t
 type stats = { hits : int; misses : int; evictions : int; size : int }
 
 val stats : t -> stats
-(** This instance's totals (the process-wide sums live in
-    [Nncs_obs.Metrics]). *)
+(** This instance's totals summed over its shards (the process-wide
+    sums live in [Nncs_obs.Metrics]).  Taken shard by shard, so the
+    numbers are a consistent snapshot per shard but not across shards
+    under concurrent use. *)
+
+val shard_sizes : t -> int array
+(** Current entry count of each shard (diagnostics: key spread). *)
 
 val hit_rate : t -> float
 (** [hits / (hits + misses)], 0.0 when empty. *)

@@ -24,7 +24,15 @@ let with_writer ?append path f =
   let w = create ?append path in
   Fun.protect ~finally:(fun () -> close w) (fun () -> f w)
 
-let load path =
+let load ?on_malformed path =
+  let warn =
+    match on_malformed with
+    | Some f -> f
+    | None ->
+        fun ~line reason ->
+          Printf.eprintf "warning: journal %s: skipping malformed line %d (%s)\n%!"
+            path line reason
+  in
   let ic = open_in path in
   let lines =
     Fun.protect
@@ -38,17 +46,18 @@ let load path =
          with End_of_file -> ());
         List.rev !acc)
   in
-  let lines =
-    (* blank tail = the newline of the last complete record *)
-    match List.rev lines with
-    | l :: rest when String.trim l = "" -> List.rev rest
-    | _ -> lines
-  in
-  let n = List.length lines in
+  (* A server appending continuously can crash mid-line and then keep
+     appending complete records after the torn one on restart, so a
+     malformed line is a recoverable event *anywhere*, not only at the
+     tail: skip it with a warning and keep every parseable record.
+     Blank lines (the newline of the last complete record) are silently
+     ignored. *)
   List.mapi (fun i l -> (i, l)) lines
   |> List.filter_map (fun (i, l) ->
-         match Json.of_string l with
-         | j -> Some j
-         | exception Json.Parse_error _ when i = n - 1 ->
-             (* the line being written when the run died *)
-             None)
+         if String.trim l = "" then None
+         else
+           match Json.of_string l with
+           | j -> Some j
+           | exception Json.Parse_error reason ->
+               warn ~line:(i + 1) reason;
+               None)

@@ -2,9 +2,10 @@
 
     A journal is a file of one JSON object per line, appended and
     flushed as each work item completes, so an interrupted run loses at
-    most the line being written.  {!load} tolerates exactly that: a
-    truncated or malformed {e final} line is dropped (the crash
-    artifact), while corruption elsewhere raises. *)
+    most the line being written.  {!load} tolerates that even for a
+    long-running appender: a truncated or malformed line {e anywhere} —
+    the crash artifact may sit mid-file once a restarted server appends
+    past it — is skipped with a warning instead of failing the parse. *)
 
 type writer
 
@@ -20,8 +21,10 @@ val close : writer -> unit
 
 val with_writer : ?append:bool -> string -> (writer -> 'a) -> 'a
 
-val load : string -> Nncs_obs.Json.t list
-(** Parse every line of [path].  A malformed final line is silently
-    dropped; a malformed line anywhere else raises
-    [Nncs_obs.Json.Parse_error].  Raises [Sys_error] if the file cannot
-    be read. *)
+val load :
+  ?on_malformed:(line:int -> string -> unit) -> string -> Nncs_obs.Json.t list
+(** Parse every line of [path], skipping blank lines silently and
+    malformed lines with a warning — [on_malformed ~line reason] is
+    called for each (1-based line number), defaulting to a message on
+    stderr.  Never raises on content; raises [Sys_error] if the file
+    cannot be read. *)

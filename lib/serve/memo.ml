@@ -1,0 +1,76 @@
+module J = Nncs_obs.Json
+module Journal = Nncs_resilience.Journal
+module Metrics = Nncs_obs.Metrics
+module Verify = Nncs.Verify
+
+let m_hits = Metrics.counter "serve.memo_hits"
+let m_misses = Metrics.counter "serve.memo_misses"
+
+type t = {
+  lock : Mutex.t;
+  table : (string, Verify.report) Hashtbl.t;
+  writer : Journal.writer option;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record_to_json fp report =
+  J.Obj
+    [
+      ("t", J.Str "verdict_memo");
+      ("fingerprint", J.Str fp);
+      ("report", Verify.report_to_json report);
+    ]
+
+(* Replay tolerates individual bad records, not just bad lines: a
+   journal written by a newer/older build whose report schema moved
+   simply contributes nothing for that entry, and the server recomputes
+   on demand. *)
+let replay table path =
+  List.iter
+    (fun j ->
+      match (J.member "t" j, J.member "fingerprint" j, J.member "report" j) with
+      | Some (J.Str "verdict_memo"), Some (J.Str fp), Some r -> (
+          match Verify.report_of_json r with
+          | report -> Hashtbl.replace table fp report
+          | exception J.Parse_error reason ->
+              Printf.eprintf
+                "warning: memo %s: skipping unreadable report for %s (%s)\n%!"
+                path fp reason)
+      | _ -> ())
+    (Journal.load path)
+
+let create ?path () =
+  let table = Hashtbl.create 64 in
+  let writer =
+    match path with
+    | None -> None
+    | Some p ->
+        if Sys.file_exists p then replay table p;
+        Some (Journal.create ~append:true p)
+  in
+  { lock = Mutex.create (); table; writer }
+
+let find t fp =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table fp with
+      | Some r ->
+          Metrics.incr m_hits;
+          Some r
+      | None ->
+          Metrics.incr m_misses;
+          None)
+
+let peek t fp = with_lock t (fun () -> Hashtbl.find_opt t.table fp)
+
+let store t fp report =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.table fp) then begin
+        Hashtbl.replace t.table fp report;
+        Option.iter (fun w -> Journal.write w (record_to_json fp report)) t.writer
+      end)
+
+let size t = with_lock t (fun () -> Hashtbl.length t.table)
+let close t = Option.iter Journal.close t.writer

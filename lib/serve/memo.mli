@@ -1,0 +1,44 @@
+(** The fingerprint-keyed verdict memo: tier 1 of the verification
+    service.
+
+    Maps {!Nncs.Verify.fingerprint} digests to whole verification
+    reports, so a job identical to one already answered returns
+    instantly without touching the reachability pipeline.  The
+    fingerprint covers the partition, the command set, the spec probes,
+    the abstraction domain and input splits, and the analysis config —
+    but {e not} the worker count, scheduler, or abstraction-cache
+    settings, which cannot change verdicts (see {!Nncs.Verify.fingerprint});
+    nor the network weights, so one memo must never outlive the network
+    set it was computed against.
+
+    Thread-safe: dispatcher domains share one memo behind a mutex.
+
+    Optionally backed by an append-only JSONL journal (one
+    [{"t":"verdict_memo","fingerprint":F,"report":R}] line per stored
+    verdict): {!create} replays an existing file — tolerating
+    crash-truncated lines, which {!Nncs_resilience.Journal.load} skips
+    with a warning — and appends every new verdict, so a restarted
+    server answers past queries from disk. *)
+
+type t
+
+val create : ?path:string -> unit -> t
+(** With [path], replay the journal at [path] (if any) and keep it open
+    for appending. *)
+
+val find : t -> string -> Nncs.Verify.report option
+(** Memo lookup by fingerprint; counts into the [serve.memo_hits] /
+    [serve.memo_misses] metrics. *)
+
+val peek : t -> string -> Nncs.Verify.report option
+(** {!find} without touching the metrics — for diagnostics and bench
+    verdict comparison. *)
+
+val store : t -> string -> Nncs.Verify.report -> unit
+(** Insert (and journal) the report under its fingerprint; a fingerprint
+    already present keeps its incumbent report — both were computed from
+    the same problem, and the incumbent is the one concurrent readers
+    may already have returned. *)
+
+val size : t -> int
+val close : t -> unit

@@ -1,0 +1,97 @@
+(** Wire protocol of the resident verification service.
+
+    One JSON object per line in both directions.  Requests are jobs
+    (spec + initial set + analysis configuration), stats probes, or a
+    shutdown; the server answers with a stream of events tagged by the
+    job's client-chosen [id].
+
+    {b Request grammar} (defaults in brackets; see DESIGN.md §12):
+
+    {v
+    request  := job | stats | shutdown
+    job      := { "t":"job", "id":STR,
+                  "cells":[cell...] | "partition":{"arcs":N,"headings":N,
+                                                   "arc_indices":[N...]},
+                  "domain":"interval"|"symbolic"|"affine",   [symbolic]
+                  "nn_splits":N,                             [0]
+                  "max_depth":N,                             [0]
+                  "split_dims":[N...],    [paper dims via default config]
+                  "split_take":N,         [absent: bisect all split_dims]
+                  "m":N, "order":N, "gamma":N,               [10, 6, 5]
+                  "scheme":"direct"|"lohner",                [direct]
+                  "early_abort":BOOL,                        [true]
+                  "workers":N,                               [1]
+                  "scheduler":"cells"|"leaves",              [cells]
+                  "degrade":BOOL,                            [true]
+                  "deadline_s":F, "max_ode_steps":N,
+                  "max_symstates":N,                         [unlimited]
+                  "memo":BOOL }                              [true]
+    cell     := { "box":[[lo,hi]...], "cmd":N }
+    stats    := { "t":"stats" }
+    shutdown := { "t":"shutdown" }
+    v}
+
+    {b Events}: [accepted] (echoes the problem fingerprint), [progress]
+    (cells done / total, only for jobs that actually run), [verdict]
+    (with ["source":"memo"|"run"]), [error], [stats], [bye]. *)
+
+type cells_spec =
+  | Explicit of Nncs.Symstate.t list  (** the job carries its own cells *)
+  | Partition of { arcs : int; headings : int; arc_indices : int list }
+      (** scenario partition built server-side ([arc_indices = []] means
+          every arc) *)
+
+type job = {
+  id : string;  (** client-chosen correlation id, echoed on every event *)
+  cells : cells_spec;
+  domain : Nncs_nnabs.Transformer.domain;
+  nn_splits : int;
+  config : Nncs.Verify.config;
+      (** [reach.abs_cache] is ignored: the server injects its own
+          process-wide cache *)
+  use_memo : bool;
+      (** answer from the fingerprint-keyed verdict memo when possible
+          (the run's report is stored either way) *)
+}
+
+type request = Job of job | Stats | Shutdown
+
+type source = Memo | Run
+
+type event =
+  | Accepted of { id : string; fingerprint : string }
+  | Progress of { id : string; cells_done : int; total : int }
+  | Verdict of {
+      id : string;
+      fingerprint : string;
+      source : source;
+      coverage : float;
+      proved_cells : int;
+      unknown_cells : int;
+      total_cells : int;
+      elapsed_s : float;
+    }
+  | Job_error of { id : string; reason : string }
+      (** [id] is [""] when the offending line could not be parsed far
+          enough to recover one *)
+  | Stats_report of Nncs_obs.Json.t
+  | Bye
+
+val default_config : Nncs.Verify.config
+(** The base every job's config starts from: {!Nncs.Verify.default_config}
+    with [keep_sets = false] (a server must not retain per-step flow
+    pipes) and [max_depth = 0] (refinement is opt-in per job). *)
+
+val source_to_string : source -> string
+
+val request_of_json : Nncs_obs.Json.t -> (request, string) result
+(** Total: malformed requests come back as [Error reason], never an
+    exception. *)
+
+val request_to_json : request -> Nncs_obs.Json.t
+(** Inverse of {!request_of_json} on the fields the grammar exposes
+    (clients and benches build jobs through this to exercise the same
+    codec the server parses with). *)
+
+val event_to_json : event -> Nncs_obs.Json.t
+val event_of_json : Nncs_obs.Json.t -> (event, string) result

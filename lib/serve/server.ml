@@ -1,0 +1,238 @@
+module J = Nncs_obs.Json
+module Metrics = Nncs_obs.Metrics
+module Firewall = Nncs_resilience.Firewall
+module Fault = Nncs_resilience.Fault
+module Fail = Nncs_resilience.Failure
+module Cache = Nncs_nnabs.Cache
+module T = Nncs_nnabs.Transformer
+module Verify = Nncs.Verify
+module Reach = Nncs.Reach
+
+let m_jobs = Metrics.counter "serve.jobs"
+let m_errors = Metrics.counter "serve.errors"
+
+type config = {
+  dispatchers : int;
+  cache : Cache.config option;
+  memo_path : string option;
+}
+
+let default_config =
+  {
+    dispatchers = 1;
+    cache =
+      Some { Cache.default_config with Cache.capacity = 65536; quantum = 0.0 };
+    memo_path = None;
+  }
+
+type t = {
+  config : config;
+  make_system : domain:T.domain -> nn_splits:int -> Nncs.System.t;
+  make_cells :
+    arcs:int -> headings:int -> arc_indices:int list -> Nncs.Symstate.t list;
+  memo : Memo.t;
+}
+
+let create config ~make_system ~make_cells =
+  if config.dispatchers < 1 then
+    invalid_arg "Server.create: dispatchers must be >= 1";
+  (* install the process-wide cache up front so the very first job (and
+     any code path probing [Cache.shared] for stats) sees the same
+     table *)
+  (match config.cache with
+  | Some c -> ignore (Cache.shared c)
+  | None -> ());
+  {
+    config;
+    make_system;
+    make_cells;
+    memo = Memo.create ?path:config.memo_path ();
+  }
+
+let resolve_cells t = function
+  | Protocol.Explicit cells -> cells
+  | Protocol.Partition { arcs; headings; arc_indices } ->
+      t.make_cells ~arcs ~headings ~arc_indices
+
+(* One job, synchronously, firewalled.  The fingerprint is computed
+   before consulting the memo, so a hit answers without running any
+   reachability; a run's report is always stored (even for [memo=false]
+   jobs — they opt out of reading the memo, not of feeding it). *)
+let submit t ~emit (job : Protocol.job) =
+  Metrics.incr m_jobs;
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Firewall.protect ~classify:Reach.classify (fun () ->
+        Fault.trigger ~key:job.id "serve.job";
+        let sys = t.make_system ~domain:job.domain ~nn_splits:job.nn_splits in
+        let cells = resolve_cells t job.cells in
+        (match cells with
+        | [] -> invalid_arg "job resolves to an empty partition"
+        | _ :: _ -> ());
+        let config =
+          {
+            job.config with
+            Verify.reach =
+              { job.config.Verify.reach with Reach.abs_cache = t.config.cache };
+          }
+        in
+        let fp = Verify.fingerprint ~config sys cells in
+        emit (Protocol.Accepted { id = job.id; fingerprint = fp });
+        let memoized = if job.use_memo then Memo.find t.memo fp else None in
+        match memoized with
+        | Some report -> (fp, Protocol.Memo, report)
+        | None ->
+            let report =
+              Verify.verify_partition ~config
+                ~progress:(fun cells_done total ->
+                  emit (Protocol.Progress { id = job.id; cells_done; total }))
+                sys cells
+            in
+            Memo.store t.memo fp report;
+            (fp, Protocol.Run, report))
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  match result with
+  | Ok (fp, source, report) ->
+      emit
+        (Protocol.Verdict
+           {
+             id = job.id;
+             fingerprint = fp;
+             source;
+             coverage = report.Verify.coverage;
+             proved_cells = report.Verify.proved_cells;
+             unknown_cells = report.Verify.unknown_cells;
+             total_cells = report.Verify.total_cells;
+             elapsed_s;
+           })
+  | Error failure ->
+      Metrics.incr m_errors;
+      emit (Protocol.Job_error { id = job.id; reason = Fail.to_string failure })
+
+let lookup t fp = Memo.peek t.memo fp
+
+let stats_json t =
+  let num_int n = J.Num (float_of_int n) in
+  let cache_fields =
+    match t.config.cache with
+    | None -> []
+    | Some c ->
+        let cache = Cache.shared c in
+        let s = Cache.stats cache in
+        [
+          ("cache_hits", num_int s.Cache.hits);
+          ("cache_misses", num_int s.Cache.misses);
+          ("cache_evictions", num_int s.Cache.evictions);
+          ("cache_size", num_int s.Cache.size);
+          ( "cache_shard_sizes",
+            J.List
+              (Array.to_list (Array.map num_int (Cache.shard_sizes cache))) );
+        ]
+  in
+  J.Obj
+    ([
+       ("jobs", num_int (Metrics.value m_jobs));
+       ("errors", num_int (Metrics.value m_errors));
+       ("memo_entries", num_int (Memo.size t.memo));
+       ( "memo_hits",
+         num_int (Metrics.value (Metrics.counter "serve.memo_hits")) );
+       ("dispatchers", num_int t.config.dispatchers);
+       ("host_cores", num_int (Domain.recommended_domain_count ()));
+     ]
+    @ cache_fields)
+
+(* ----- the session loop ----- *)
+
+let run t ic oc =
+  let out_lock = Mutex.create () in
+  let emit ev =
+    Mutex.lock out_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock out_lock)
+      (fun () ->
+        output_string oc (J.to_string (Protocol.event_to_json ev));
+        output_char oc '\n';
+        flush oc)
+  in
+  let queue = Queue.create () in
+  let qlock = Mutex.create () in
+  let qcond = Condition.create () in
+  let accepting = ref true in
+  (* [queue]/[accepting] are shared with the dispatcher domains but
+     local to this call; every access goes through [qlock] below. *)
+  let enqueue job =
+    Mutex.lock qlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock qlock)
+      (fun () ->
+        Queue.add job queue;
+        Condition.signal qcond)
+  in
+  let stop_accepting () =
+    Mutex.lock qlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock qlock)
+      (fun () ->
+        accepting := false;
+        Condition.broadcast qcond)
+  in
+  (* [None] only once the queue is drained AND no more jobs can arrive:
+     queued work survives a shutdown request (graceful drain). *)
+  let dequeue () =
+    Mutex.lock qlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock qlock)
+      (fun () ->
+        let rec wait () =
+          if not (Queue.is_empty queue) then Some (Queue.pop queue)
+          else if not !accepting then None
+          else begin
+            Condition.wait qcond qlock;
+            wait ()
+          end
+        in
+        wait ())
+  in
+  let rec dispatch () =
+    match dequeue () with
+    | None -> ()
+    | Some job ->
+        submit t ~emit job;
+        dispatch ()
+  in
+  let dispatchers =
+    Array.init t.config.dispatchers (fun _ -> Domain.spawn dispatch)
+  in
+  let outcome = ref `Eof in
+  let continue = ref true in
+  while !continue do
+    match input_line ic with
+    | exception End_of_file -> continue := false
+    | line when String.trim line = "" -> ()
+    | line -> (
+        match J.of_string line with
+        | exception J.Parse_error msg ->
+            emit
+              (Protocol.Job_error { id = ""; reason = "parse error: " ^ msg })
+        | request -> (
+            match Protocol.request_of_json request with
+            | Error reason ->
+                let id =
+                  match J.member "id" request with
+                  | Some (J.Str id) -> id
+                  | _ -> ""
+                in
+                emit (Protocol.Job_error { id; reason })
+            | Ok (Protocol.Job job) -> enqueue job
+            | Ok Protocol.Stats -> emit (Protocol.Stats_report (stats_json t))
+            | Ok Protocol.Shutdown ->
+                outcome := `Shutdown;
+                continue := false))
+  done;
+  stop_accepting ();
+  Array.iter Domain.join dispatchers;
+  emit Protocol.Bye;
+  !outcome
+
+let close t = Memo.close t.memo

@@ -1,0 +1,78 @@
+(** The resident multi-domain verification server.
+
+    Answers {!Protocol.job}s from three tiers (see DESIGN.md §12):
+
+    + the fingerprint-keyed verdict {!Memo} — an identical query returns
+      its stored report without touching the reachability pipeline;
+    + the process-wide sharded abstraction cache
+      ({!Nncs_nnabs.Cache.shared}), injected into every job's reach
+      config, so F# boxes computed for one job warm the next;
+    + a full run on {!Nncs.Verify.verify_partition} (which itself fans
+      out on the leaf scheduler when the job asks for it).
+
+    The server is scenario-agnostic: the closed-loop system and the
+    partition factory are supplied as callbacks at {!create} time, and
+    every job selects its abstraction domain and input-split count
+    through them.  A memo (and its journal) is only meaningful for one
+    [make_system] — the fingerprint does not hash network weights.
+
+    Each job runs behind the {!Nncs_resilience.Firewall}: a poisoned job
+    yields an [error] event for its id, never a dead dispatcher. *)
+
+type config = {
+  dispatchers : int;  (** concurrent jobs (>= 1); each job may additionally
+                          spawn its own [config.workers] domains *)
+  cache : Nncs_nnabs.Cache.config option;
+      (** the process-wide abstraction cache injected into every job
+          ([None]: jobs run uncached) *)
+  memo_path : string option;  (** verdict-memo journal backing *)
+}
+
+val default_config : config
+(** One dispatcher; a large exact-key cache ([capacity 65536, quantum 0,
+    8 shards] — quantum 0 keeps served verdicts bitwise-identical to
+    uncached runs); no memo journal. *)
+
+type t
+
+val create :
+  config ->
+  make_system:
+    (domain:Nncs_nnabs.Transformer.domain -> nn_splits:int -> Nncs.System.t) ->
+  make_cells:
+    (arcs:int -> headings:int -> arc_indices:int list -> Nncs.Symstate.t list) ->
+  t
+(** [make_cells] receives [arc_indices = []] when the job asked for
+    every arc. *)
+
+val submit : t -> emit:(Protocol.event -> unit) -> Protocol.job -> unit
+(** Handle one job synchronously on the calling domain: emit [accepted]
+    (with the problem fingerprint), then either the memoized verdict or
+    [progress] events followed by the computed verdict; a failure
+    emits [error].  [emit] must tolerate concurrent invocation when the
+    job runs with [workers > 1] (progress fires from worker domains). *)
+
+val lookup : t -> string -> Nncs.Verify.report option
+(** The memoized report for a fingerprint, if any (does not count as a
+    memo hit) — lets benches compare served verdicts against direct
+    runs. *)
+
+val stats_json : t -> Nncs_obs.Json.t
+(** Jobs handled, memo size/hits, abstraction-cache hit rate and shard
+    sizes. *)
+
+val run : t -> in_channel -> out_channel -> [ `Shutdown | `Eof ]
+(** The JSONL session loop: read one request per line from [ic], stream
+    events to [oc].  Jobs are queued and executed by
+    [config.dispatchers] domains while the calling domain keeps
+    reading, so independent jobs overlap; [stats] and [shutdown] are
+    answered inline (a [stats] reply can therefore overtake verdicts of
+    still-running jobs).  On [shutdown] or end of input the queue is
+    drained, dispatchers joined, and a final [bye] emitted; the return
+    value says which of the two ended the session (a socket server
+    keeps accepting after [`Eof], stops after [`Shutdown]).  Unparseable
+    lines produce [error] events with an empty id and do not kill the
+    session. *)
+
+val close : t -> unit
+(** Close the memo journal (flushing pending appends). *)

@@ -1,6 +1,7 @@
 (* Controller-abstraction cache: quantized lookups stay sound (hits
-   return supersets of the exact abstraction), the LRU bound holds at
-   capacity, worker domains never share a table, and a cached
+   return supersets of the exact abstraction) even when worker domains
+   hammer the sharded table concurrently, the LRU bound holds at
+   capacity, all domains share one process-wide table, and a cached
    verification run reports the same verdicts as an uncached one. *)
 
 module I = Nncs_interval.Interval
@@ -90,7 +91,7 @@ let prop_quantize_extreme_sound =
 let test_cached_propagation_sound () =
   let rng = Rng.create 29 in
   let net = Net.create_mlp ~rng ~layer_sizes:[ 3; 10; 10; 2 ] in
-  let cache = Cache.create { Cache.capacity = 64; quantum = 0.02 } in
+  let cache = Cache.create { Cache.capacity = 64; quantum = 0.02; shards = 4 } in
   let f b = T.propagate T.Symbolic net b in
   (* clustered queries: many boxes snap to the same quantized key, so
      later ones are served from the cache — every answer must still
@@ -123,7 +124,8 @@ let test_cached_propagation_sound () =
 (* ----- LRU eviction at capacity ----- *)
 
 let test_lru_eviction () =
-  let cache = Cache.create { Cache.capacity = 4; quantum = 0.0 } in
+  (* one shard: the LRU order is global and eviction deterministic *)
+  let cache = Cache.create { Cache.capacity = 4; quantum = 0.0; shards = 1 } in
   let box = B.of_bounds [| (0.0, 1.0) |] in
   let computed = ref 0 in
   let query cmd =
@@ -157,7 +159,7 @@ let test_lru_eviction () =
   Alcotest.(check int) "clear keeps statistics" 2 (Cache.stats cache).Cache.hits
 
 let test_tag_separates_entries () =
-  let cache = Cache.create { Cache.capacity = 8; quantum = 0.0 } in
+  let cache = Cache.create { Cache.capacity = 8; quantum = 0.0; shards = 2 } in
   let box = B.of_bounds [| (0.0, 1.0) |] in
   let wide = B.of_bounds [| (-9.0, 9.0) |] in
   let r0 =
@@ -185,7 +187,7 @@ let test_shared_cache_distinct_networks () =
   in
   let net_a = Net.create_mlp ~rng ~layer_sizes:[ 2; 8; 2 ] in
   let net_b = Net.create_mlp ~rng ~layer_sizes:[ 2; 8; 2 ] in
-  let cache = Cache.create { Cache.capacity = 64; quantum = 0.05 } in
+  let cache = Cache.create { Cache.capacity = 64; quantum = 0.05; shards = 4 } in
   let box = B.of_bounds [| (-0.2, 0.2); (-0.1, 0.3) |] in
   let a = Controller.abstract_scores ~cache (ctrl net_a) ~box ~prev_cmd:0 in
   let b = Controller.abstract_scores ~cache (ctrl net_b) ~box ~prev_cmd:0 in
@@ -197,22 +199,103 @@ let test_shared_cache_distinct_networks () =
   check "no cross-network hit: both queries computed" true
     ((Cache.stats cache).Cache.hits = 0)
 
-(* ----- per-domain isolation ----- *)
+(* ----- process-wide sharing ----- *)
 
-let test_for_domain_isolation () =
-  let cfg = { Cache.capacity = 8; quantum = 0.0 } in
-  let mine = Cache.for_domain cfg in
-  check "same domain, same table" true (Cache.for_domain cfg == mine);
+let test_shared_process_wide () =
+  let cfg = { Cache.capacity = 8; quantum = 0.0; shards = 2 } in
+  let mine = Cache.shared cfg in
+  check "same config, same table" true (Cache.shared cfg == mine);
   let workers =
-    Array.init 3 (fun _ -> Domain.spawn (fun () -> Cache.for_domain cfg))
+    Array.init 3 (fun _ -> Domain.spawn (fun () -> Cache.shared cfg))
   in
   let tables = Array.map Domain.join workers in
   Array.iter
-    (fun t -> check "worker table distinct from the caller's" true (t != mine))
+    (fun t -> check "worker sees the caller's table" true (t == mine))
     tables;
-  (* a different config replaces the domain's table *)
-  let bigger = Cache.for_domain { cfg with Cache.capacity = 16 } in
-  check "config change gives a fresh table" true (bigger != mine)
+  (* a different config replaces the process table *)
+  let bigger = Cache.shared { cfg with Cache.capacity = 16 } in
+  check "config change gives a fresh table" true (bigger != mine);
+  check "new config is sticky" true (Cache.shared { cfg with Cache.capacity = 16 } == bigger)
+
+(* ----- concurrent domains on one sharded table ----- *)
+
+(* Four domains hammer overlapping quantized keys on a small table: every
+   answer — fresh, hit, or the loser of a concurrent same-key miss race —
+   must still enclose the exact abstraction of the query box, and the
+   clustered traffic must actually produce cross-domain hits. *)
+let test_concurrent_hits_sound () =
+  let net = Net.create_mlp ~rng:(Rng.create 5) ~layer_sizes:[ 3; 12; 12; 2 ] in
+  let cache =
+    Cache.create { Cache.capacity = 128; quantum = 0.02; shards = 4 }
+  in
+  let f b = T.propagate T.Symbolic net b in
+  let failures = Atomic.make 0 in
+  let worker seed () =
+    let rng = Rng.create seed in
+    let centers =
+      Array.init 6 (fun _ -> Array.init 3 (fun _ -> Rng.uniform rng (-0.4) 0.4))
+    in
+    for _ = 1 to 200 do
+      let center = centers.(Rng.int rng (Array.length centers)) in
+      let box =
+        B.of_bounds
+          (Array.map
+             (fun c ->
+               let j = Rng.uniform rng 0.0 0.003 in
+               (c -. 0.008 -. j, c +. 0.008 +. j))
+             center)
+      in
+      let cached = Cache.find_or_compute cache ~net_id:0 ~cmd:0 box f in
+      if not (B.subset (f box) cached) then Atomic.incr failures
+    done
+  in
+  let domains =
+    (* two seed groups of two domains: the domains inside a group draw
+       the same six centers, guaranteeing cross-domain key overlap *)
+    Array.init 4 (fun i -> Domain.spawn (worker (100 + (i mod 2))))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "every concurrent answer sound" 0 (Atomic.get failures);
+  let s = Cache.stats cache in
+  check "overlapping traffic produced hits" true (s.Cache.hits > 0);
+  check "statistics account every query" true
+    (s.Cache.hits + s.Cache.misses = 4 * 200);
+  check "table bounded by capacity" true (s.Cache.size <= 128);
+  check "shard sizes sum to the table size" true
+    (Array.fold_left ( + ) 0 (Cache.shard_sizes cache) = s.Cache.size)
+
+(* Two networks queried concurrently through one shared table: the
+   [net_id] ([Network.uid]) key component must keep their entries apart
+   even under racy interleavings — an answer computed from the other
+   network's weights would be silently unsound. *)
+let test_concurrent_network_isolation () =
+  let rng = Rng.create 23 in
+  let net_a = Net.create_mlp ~rng ~layer_sizes:[ 2; 10; 2 ] in
+  let net_b = Net.create_mlp ~rng ~layer_sizes:[ 2; 10; 2 ] in
+  let cache =
+    Cache.create { Cache.capacity = 64; quantum = 0.05; shards = 4 }
+  in
+  let failures = Atomic.make 0 in
+  let worker net () =
+    let f b = T.propagate T.Symbolic net b in
+    for i = 0 to 99 do
+      let c = float_of_int (i mod 5) *. 0.05 in
+      let box = B.of_bounds [| (c -. 0.02, c +. 0.02); (-0.1, 0.1) |] in
+      let cached =
+        Cache.find_or_compute cache ~net_id:(Net.uid net) ~cmd:0 box f
+      in
+      if not (B.subset (f box) cached) then Atomic.incr failures
+    done
+  in
+  let domains =
+    [| Domain.spawn (worker net_a); Domain.spawn (worker net_b);
+       Domain.spawn (worker net_a); Domain.spawn (worker net_b) |]
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int)
+    "no cross-network contamination" 0 (Atomic.get failures);
+  (* identical query streams per network: hits only within a network *)
+  check "within-network hits occurred" true ((Cache.stats cache).Cache.hits > 0)
 
 (* ----- cached vs uncached verification verdicts ----- *)
 (* the homing loop of test_verify: x' = u, argmin picks -1 above x = 1 *)
@@ -264,12 +347,12 @@ let test_cached_verdicts_identical () =
     Partition.with_command 0
       (Partition.grid (B.of_bounds [| (1.0, 2.0) |]) ~cells:[| 8 |])
   in
-  let abs_cache = { Cache.capacity = 1024; quantum = 0.0 } in
+  let abs_cache = { Cache.capacity = 1024; quantum = 0.0; shards = 4 } in
   let plain = Verify.verify_partition ~config:(config 1) sys cells in
   let cached =
     Verify.verify_partition ~config:(config ~abs_cache 1) sys cells
   in
-  (* workers > 1: every domain builds its own table via for_domain *)
+  (* workers > 1: all domains share the process-wide sharded table *)
   let parallel =
     Verify.verify_partition ~config:(config ~abs_cache 4) sys cells
   in
@@ -299,8 +382,12 @@ let () =
           Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
           Alcotest.test_case "tags separate entries" `Quick
             test_tag_separates_entries;
-          Alcotest.test_case "per-domain isolation" `Quick
-            test_for_domain_isolation;
+          Alcotest.test_case "process-wide sharing" `Quick
+            test_shared_process_wide;
+          Alcotest.test_case "concurrent hits sound" `Quick
+            test_concurrent_hits_sound;
+          Alcotest.test_case "concurrent network isolation" `Quick
+            test_concurrent_network_isolation;
           Alcotest.test_case "cached verdicts identical" `Quick
             test_cached_verdicts_identical;
         ] );

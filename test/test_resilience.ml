@@ -414,6 +414,36 @@ let test_journal_tolerates_truncated_tail () =
       Alcotest.(check int) "only the torn record is lost" 2
         (List.length j.Verify.completed_cells))
 
+(* Corruption is not confined to the tail: a bit-flipped or
+   half-flushed record mid-file must not take the rest of the journal
+   with it.  [load] skips any malformed line, reporting its 1-based
+   number, and drops blank lines silently. *)
+let test_journal_skips_malformed_mid_file () =
+  with_temp_journal (fun path ->
+      let module Json = Nncs_obs.Json in
+      let oc = open_out path in
+      output_string oc "{\"t\":\"meta\",\"total\":2}\n";
+      output_string oc "{\"t\":\"cell\",\"index\":0}\n";
+      output_string oc "{\"t\":\"cell\",\"ind\x00ex\n";
+      output_string oc "\n";
+      output_string oc "{\"t\":\"cell\",\"index\":1}\n";
+      close_out oc;
+      let reported = ref [] in
+      let records =
+        Journal.load ~on_malformed:(fun ~line _ -> reported := line :: !reported)
+          path
+      in
+      Alcotest.(check int) "good records survive" 3 (List.length records);
+      Alcotest.(check (list int)) "the bad line reported by number" [ 3 ]
+        (List.rev !reported);
+      (match List.rev records with
+      | last :: _ ->
+          Alcotest.(check (option int))
+            "records after the corruption are kept"
+            (Some 1)
+            (Option.map Json.to_int (Json.member "index" last))
+      | [] -> Alcotest.fail "journal came back empty"))
+
 let () =
   Alcotest.run "resilience"
     [
@@ -461,5 +491,7 @@ let () =
             test_journal_resume_skips_completed;
           Alcotest.test_case "truncated tail tolerated" `Quick
             test_journal_tolerates_truncated_tail;
+          Alcotest.test_case "malformed mid-file line skipped" `Quick
+            test_journal_skips_malformed_mid_file;
         ] );
     ]

@@ -1,0 +1,504 @@
+(* The verification service: protocol codecs round-trip and reject
+   malformed requests; a served job answers identically to a direct
+   uncached [Verify.verify_partition]; a repeated job is answered from
+   the verdict memo without re-running; a poisoned job yields an error
+   event and never kills the server; the memo journal survives a
+   crash-torn tail; and the full JSONL session loop handles garbage
+   lines, stats probes and shutdown. *)
+
+module B = Nncs_interval.Box
+module I = Nncs_interval.Interval
+module Net = Nncs_nn.Network
+module Act = Nncs_nn.Activation
+module Mat = Nncs_linalg.Mat
+module T = Nncs_nnabs.Transformer
+module Cache = Nncs_nnabs.Cache
+module E = Nncs_ode.Expr
+module J = Nncs_obs.Json
+module Fault = Nncs_resilience.Fault
+module Command = Nncs.Command
+module Spec = Nncs.Spec
+module Controller = Nncs.Controller
+module System = Nncs.System
+module Symstate = Nncs.Symstate
+module Verify = Nncs.Verify
+module Partition = Nncs.Partition
+module P = Nncs_serve.Protocol
+module Memo = Nncs_serve.Memo
+module Server = Nncs_serve.Server
+
+let check = Alcotest.(check bool)
+
+(* ----- protocol codecs ----- *)
+
+let sample_cells =
+  [
+    Symstate.make (B.of_bounds [| (1.0, 1.5); (-0.25, 0.25) |]) 0;
+    Symstate.make (B.of_bounds [| (1.5, 2.0); (-0.25, 0.25) |]) 1;
+  ]
+
+let boxes_equal a b =
+  B.dim a = B.dim b
+  && List.for_all
+       (fun d ->
+         let ia = B.get a d and ib = B.get b d in
+         I.lo ia = I.lo ib && I.hi ia = I.hi ib)
+       (List.init (B.dim a) Fun.id)
+
+let reparse req =
+  (* through the printed wire form, exactly as a client round-trips *)
+  P.request_of_json (J.of_string (J.to_string (P.request_to_json req)))
+
+let test_request_roundtrip () =
+  let config =
+    {
+      P.default_config with
+      Verify.max_depth = 3;
+      workers = 2;
+      scheduler = Verify.Leaves;
+      strategy = Verify.Most_influential { candidates = [ 0; 1 ]; take = 1 };
+      limits =
+        {
+          Nncs_resilience.Budget.deadline_s = Some 2.5;
+          max_ode_steps = Some 10_000;
+          max_symstates = None;
+        };
+    }
+  in
+  let job =
+    {
+      P.id = "q1";
+      cells = P.Explicit sample_cells;
+      domain = T.Interval;
+      nn_splits = 4;
+      config;
+      use_memo = false;
+    }
+  in
+  (match reparse (P.Job job) with
+  | Ok (P.Job j) ->
+      Alcotest.(check string) "id" "q1" j.P.id;
+      check "domain" true (j.P.domain = T.Interval);
+      Alcotest.(check int) "nn_splits" 4 j.P.nn_splits;
+      check "memo flag" true (j.P.use_memo = false);
+      Alcotest.(check int) "max_depth" 3 j.P.config.Verify.max_depth;
+      Alcotest.(check int) "workers" 2 j.P.config.Verify.workers;
+      check "scheduler" true (j.P.config.Verify.scheduler = Verify.Leaves);
+      check "strategy" true
+        (j.P.config.Verify.strategy
+        = Verify.Most_influential { candidates = [ 0; 1 ]; take = 1 });
+      check "limits" true
+        (j.P.config.Verify.limits.Nncs_resilience.Budget.deadline_s = Some 2.5
+        && j.P.config.Verify.limits.Nncs_resilience.Budget.max_ode_steps
+           = Some 10_000);
+      (match j.P.cells with
+      | P.Explicit l ->
+          Alcotest.(check int) "cell count" 2 (List.length l);
+          List.iter2
+            (fun (a : Symstate.t) (b : Symstate.t) ->
+              check "cell box round-trips" true
+                (boxes_equal a.Symstate.box b.Symstate.box);
+              Alcotest.(check int) "cell cmd" a.Symstate.cmd b.Symstate.cmd)
+            sample_cells l
+      | P.Partition _ -> Alcotest.fail "explicit cells became a partition")
+  | Ok _ -> Alcotest.fail "job parsed as a different request"
+  | Error e -> Alcotest.fail e);
+  let partition_job =
+    {
+      P.id = "q2";
+      cells = P.Partition { arcs = 12; headings = 4; arc_indices = [ 3; 7 ] };
+      domain = T.Symbolic;
+      nn_splits = 0;
+      config = P.default_config;
+      use_memo = true;
+    }
+  in
+  (match reparse (P.Job partition_job) with
+  | Ok (P.Job j) ->
+      check "partition round-trips" true
+        (j.P.cells
+        = P.Partition { arcs = 12; headings = 4; arc_indices = [ 3; 7 ] })
+  | Ok _ | Error _ -> Alcotest.fail "partition job did not round-trip");
+  check "stats round-trips" true (reparse P.Stats = Ok P.Stats);
+  check "shutdown round-trips" true (reparse P.Shutdown = Ok P.Shutdown)
+
+let test_request_rejects () =
+  let parse s = P.request_of_json (J.of_string s) in
+  let rejects label s =
+    match parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (label ^ ": malformed request accepted")
+  in
+  rejects "no type" {|{"id":"x"}|};
+  rejects "unknown type" {|{"t":"frobnicate"}|};
+  rejects "job without id" {|{"t":"job","partition":{"arcs":1,"headings":1}}|};
+  rejects "job without cells" {|{"t":"job","id":"x"}|};
+  rejects "both cells and partition"
+    {|{"t":"job","id":"x","cells":[],"partition":{"arcs":1,"headings":1}}|};
+  rejects "bad domain"
+    {|{"t":"job","id":"x","partition":{"arcs":1,"headings":1},"domain":"zonotope"}|};
+  rejects "bad scheme"
+    {|{"t":"job","id":"x","partition":{"arcs":1,"headings":1},"scheme":"rk4"}|};
+  rejects "take without dims"
+    {|{"t":"job","id":"x","partition":{"arcs":1,"headings":1},"split_take":1}|};
+  rejects "malformed box"
+    {|{"t":"job","id":"x","cells":[{"box":[[0.0]],"cmd":0}]}|}
+
+let test_event_roundtrip () =
+  let events =
+    [
+      P.Accepted { id = "a"; fingerprint = "00ff" };
+      P.Progress { id = "a"; cells_done = 3; total = 8 };
+      P.Verdict
+        {
+          id = "a";
+          fingerprint = "00ff";
+          source = P.Run;
+          coverage = 87.5;
+          proved_cells = 7;
+          unknown_cells = 1;
+          total_cells = 8;
+          elapsed_s = 0.25;
+        };
+      P.Verdict
+        {
+          id = "b";
+          fingerprint = "00ff";
+          source = P.Memo;
+          coverage = 87.5;
+          proved_cells = 7;
+          unknown_cells = 1;
+          total_cells = 8;
+          elapsed_s = 0.0;
+        };
+      P.Job_error { id = ""; reason = "unparseable line" };
+      P.Stats_report (J.Obj [ ("jobs", J.Num 2.0) ]);
+      P.Bye;
+    ]
+  in
+  List.iter
+    (fun e ->
+      match P.event_of_json (J.of_string (J.to_string (P.event_to_json e))) with
+      | Ok e' -> check "event round-trips" true (e = e')
+      | Error msg -> Alcotest.fail msg)
+    events
+
+(* ----- the served pipeline on the homing loop of test_verify ----- *)
+
+let homing_system () =
+  let commands = Command.make [| [| -1.0 |]; [| -0.5 |] |] in
+  let network =
+    Net.make ~input_dim:1
+      [|
+        {
+          Net.weights = Mat.init 2 1 (fun i _ -> [| -1.0; 1.0 |].(i));
+          biases = [| 1.0; -1.0 |];
+          activation = Act.Linear;
+        };
+      |]
+  in
+  let controller =
+    Controller.make ~period:0.5 ~commands ~networks:[| network |]
+      ~select:(fun _ -> 0)
+      ~pre:Controller.identity_pre ~pre_abs:Controller.identity_pre_abs
+      ~post:Controller.argmin_post ~post_abs:Controller.argmin_post_abs ()
+  in
+  System.make ~plant:(Nncs_ode.Ode.make ~dim:1 ~input_dim:1 [| E.input 0 |])
+    ~controller
+    ~erroneous:(Spec.coord_gt ~name:"blowup" ~dim:0 ~bound:4.0)
+    ~target:(Spec.coord_lt ~name:"home" ~dim:0 ~bound:0.2)
+    ~horizon_steps:10
+
+let homing_cells arcs =
+  Partition.with_command 0
+    (Partition.grid (B.of_bounds [| (1.0, 2.0) |]) ~cells:[| arcs |])
+
+let make_server ?memo_path () =
+  Server.create
+    {
+      Server.dispatchers = 1;
+      cache = Some { Cache.capacity = 1024; quantum = 0.0; shards = 4 };
+      memo_path;
+    }
+    ~make_system:(fun ~domain:_ ~nn_splits:_ -> homing_system ())
+    ~make_cells:(fun ~arcs ~headings:_ ~arc_indices ->
+      let all = homing_cells arcs in
+      match arc_indices with
+      | [] -> all
+      | idxs -> List.filteri (fun i _ -> List.mem i idxs) all)
+
+let homing_job ?(id = "q") ?(use_memo = true) () =
+  {
+    P.id;
+    cells = P.Explicit (homing_cells 8);
+    domain = T.Symbolic;
+    nn_splits = 0;
+    config = P.default_config;
+    use_memo;
+  }
+
+let collect server job =
+  let events = ref [] in
+  Server.submit server ~emit:(fun e -> events := e :: !events) job;
+  List.rev !events
+
+let leaf_verdicts (r : Verify.report) =
+  List.map
+    (fun (c : Verify.cell_report) ->
+      ( c.Verify.index,
+        List.map
+          (fun (l : Verify.leaf) -> (l.Verify.depth, l.Verify.proved))
+          c.Verify.leaves ))
+    r.Verify.cells
+
+(* the [Verdict] payload, extracted (inline records cannot escape) *)
+type verdict = {
+  vid : string;
+  vfp : string;
+  vsrc : P.source;
+  vcov : float;
+  vproved : int;
+  vtotal : int;
+}
+
+let verdict_payload = function
+  | P.Verdict { id; fingerprint; source; coverage; proved_cells; total_cells; _ }
+    ->
+      Some
+        {
+          vid = id;
+          vfp = fingerprint;
+          vsrc = source;
+          vcov = coverage;
+          vproved = proved_cells;
+          vtotal = total_cells;
+        }
+  | _ -> None
+
+let find_verdict events =
+  match List.filter_map verdict_payload events with
+  | [ v ] -> v
+  | _ -> Alcotest.fail "expected exactly one verdict event"
+
+let test_served_verdict_matches_direct () =
+  let server = make_server () in
+  let job = homing_job ~id:"first" () in
+  let events = collect server job in
+  let v = find_verdict events in
+  check "first query ran the pipeline" true (v.vsrc = P.Run);
+  (match List.hd events with
+  | P.Accepted { id; fingerprint } ->
+      Alcotest.(check string) "accepted echoes the id" "first" id;
+      Alcotest.(check string)
+        "accepted and verdict agree on the fingerprint" fingerprint
+        v.vfp
+  | _ -> Alcotest.fail "first event must be accepted");
+  check "run jobs report progress" true
+    (List.exists (function P.Progress _ -> true | _ -> false) events);
+  (* the served report must be the direct, uncached one *)
+  let direct =
+    Verify.verify_partition ~config:job.P.config (homing_system ())
+      (homing_cells 8)
+  in
+  Alcotest.(check (float 0.0))
+    "served coverage = direct coverage" direct.Verify.coverage v.vcov;
+  Alcotest.(check int) "total cells" direct.Verify.total_cells v.vtotal;
+  Alcotest.(check int)
+    "proved cells" direct.Verify.proved_cells v.vproved;
+  match Server.lookup server v.vfp with
+  | None -> Alcotest.fail "verdict not memoized"
+  | Some stored ->
+      check "memoized leaf verdicts = direct leaf verdicts" true
+        (leaf_verdicts stored = leaf_verdicts direct)
+
+let jobs_counted server =
+  match J.member "jobs" (Server.stats_json server) with
+  | Some n -> J.to_int n
+  | None -> Alcotest.fail "stats_json lacks a jobs field"
+
+let test_repeat_answered_from_memo () =
+  let server = make_server () in
+  (* the jobs metric is process-wide: count relative to the baseline *)
+  let jobs0 = jobs_counted server in
+  let v1 = find_verdict (collect server (homing_job ~id:"a" ())) in
+  let events2 = collect server (homing_job ~id:"b" ()) in
+  let v2 = find_verdict events2 in
+  check "first from the pipeline" true (v1.vsrc = P.Run);
+  check "identical repeat from the memo" true (v2.vsrc = P.Memo);
+  Alcotest.(check string)
+    "same problem, same fingerprint" v1.vfp v2.vfp;
+  Alcotest.(check (float 0.0))
+    "same coverage either way" v1.vcov v2.vcov;
+  check "memo answers emit no progress" true
+    (not (List.exists (function P.Progress _ -> true | _ -> false) events2));
+  (* memo opt-out: same job with memo:false runs again *)
+  let v3 = find_verdict (collect server (homing_job ~id:"c" ~use_memo:false ())) in
+  check "memo:false re-runs the pipeline" true (v3.vsrc = P.Run);
+  Alcotest.(check (float 0.0))
+    "and still agrees" v1.vcov v3.vcov;
+  Alcotest.(check int) "stats count the jobs" 3 (jobs_counted server - jobs0)
+
+let test_poisoned_job_firewalled () =
+  let server = make_server () in
+  Fun.protect ~finally:Fault.reset (fun () ->
+      Fault.arm ~site:"serve.job" ~key:"bad" (fun () ->
+          Failure "injected fault");
+      let events = collect server (homing_job ~id:"bad" ()) in
+      (match events with
+      | [ P.Job_error { id; reason = _ } ] ->
+          Alcotest.(check string) "error tagged with the job id" "bad" id
+      | _ -> Alcotest.fail "poisoned job must yield exactly one error event"));
+  (* the server survives: the next job runs normally *)
+  let v = find_verdict (collect server (homing_job ~id:"good" ())) in
+  check "next job unaffected" true (v.vsrc = P.Run)
+
+let test_empty_partition_rejected () =
+  let server = make_server () in
+  let job =
+    { (homing_job ~id:"empty" ()) with P.cells = P.Explicit [] }
+  in
+  match collect server job with
+  | [ P.Job_error { id = "empty"; _ } ] -> ()
+  | _ -> Alcotest.fail "empty cell list must yield an error event"
+
+(* ----- memo journal: persistence across restart, torn tail ----- *)
+
+let test_memo_journal_torn_tail () =
+  let path = Filename.temp_file "nncs_memo" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let report =
+        Verify.verify_partition ~config:P.default_config (homing_system ())
+          (homing_cells 4)
+      in
+      let memo = Memo.create ~path () in
+      Memo.store memo "deadbeef00000001" report;
+      Memo.close memo;
+      (* simulate a crash mid-append: a torn, unterminated JSON prefix *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"t\":\"verdict_memo\",\"fingerprint\":\"feed";
+      close_out oc;
+      let reloaded = Memo.create ~path () in
+      Fun.protect
+        ~finally:(fun () -> Memo.close reloaded)
+        (fun () ->
+          Alcotest.(check int)
+            "torn tail skipped, good entry replayed" 1 (Memo.size reloaded);
+          match Memo.peek reloaded "deadbeef00000001" with
+          | None -> Alcotest.fail "journaled verdict lost on reload"
+          | Some r ->
+              check "replayed report identical" true
+                (leaf_verdicts r = leaf_verdicts report
+                && r.Verify.coverage = report.Verify.coverage)))
+
+(* ----- the JSONL session loop ----- *)
+
+let run_session ?(dispatchers = 2) lines =
+  let in_path = Filename.temp_file "nncs_serve_in" ".jsonl" in
+  let out_path = Filename.temp_file "nncs_serve_out" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ in_path; out_path ])
+    (fun () ->
+      let oc = open_out in_path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      let server =
+        Server.create
+          { Server.default_config with Server.dispatchers }
+          ~make_system:(fun ~domain:_ ~nn_splits:_ -> homing_system ())
+          ~make_cells:(fun ~arcs ~headings:_ ~arc_indices:_ ->
+            homing_cells arcs)
+      in
+      let ic = open_in in_path and oc = open_out out_path in
+      let outcome = Server.run server ic oc in
+      close_in ic;
+      close_out oc;
+      Server.close server;
+      let events = ref [] in
+      let ic = In_channel.open_text out_path in
+      (try
+         while true do
+           let line = input_line ic in
+           match P.event_of_json (J.of_string line) with
+           | Ok e -> events := e :: !events
+           | Error msg -> Alcotest.fail ("unparseable event line: " ^ msg)
+         done
+       with End_of_file -> ());
+      In_channel.close ic;
+      (outcome, List.rev !events))
+
+let test_session_loop () =
+  let outcome, events =
+    run_session
+      [
+        {|{"t":"job","id":"s1","partition":{"arcs":4,"headings":1}}|};
+        {|this line is not JSON|};
+        {|{"t":"job","id":"s2","partition":{"arcs":4,"headings":1}}|};
+        {|{"t":"stats"}|};
+        {|{"t":"shutdown"}|};
+      ]
+  in
+  check "shutdown ends the session" true (outcome = `Shutdown);
+  let verdict_of id =
+    match
+      List.filter (fun v -> v.vid = id) (List.filter_map verdict_payload events)
+    with
+    | [ v ] -> v
+    | _ -> Alcotest.fail ("expected exactly one verdict for " ^ id)
+  in
+  let v1 = verdict_of "s1" and v2 = verdict_of "s2" in
+  Alcotest.(check string)
+    "identical jobs share a fingerprint" v1.vfp v2.vfp;
+  Alcotest.(check (float 0.0))
+    "identical jobs share a coverage" v1.vcov v2.vcov;
+  check "garbage line yields an error with an empty id" true
+    (List.exists
+       (function P.Job_error { id = ""; _ } -> true | _ -> false)
+       events);
+  check "stats answered in-session" true
+    (List.exists (function P.Stats_report _ -> true | _ -> false) events);
+  (match List.rev events with
+  | P.Bye :: _ -> ()
+  | _ -> Alcotest.fail "bye must be the last event");
+  (* end-of-input without shutdown: the session ends with [`Eof] *)
+  let outcome, events =
+    run_session ~dispatchers:1 [ {|{"t":"stats"}|} ]
+  in
+  check "eof ends the session" true (outcome = `Eof);
+  check "eof session still says bye" true
+    (List.exists (function P.Bye -> true | _ -> false) events)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "malformed requests rejected" `Quick
+            test_request_rejects;
+          Alcotest.test_case "event round-trip" `Quick test_event_roundtrip;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "served verdict matches direct run" `Quick
+            test_served_verdict_matches_direct;
+          Alcotest.test_case "repeat answered from memo" `Quick
+            test_repeat_answered_from_memo;
+          Alcotest.test_case "poisoned job firewalled" `Quick
+            test_poisoned_job_firewalled;
+          Alcotest.test_case "empty partition rejected" `Quick
+            test_empty_partition_rejected;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "journal survives a torn tail" `Quick
+            test_memo_journal_torn_tail;
+        ] );
+      ( "session",
+        [ Alcotest.test_case "jsonl session loop" `Quick test_session_loop ] );
+    ]
