@@ -38,9 +38,23 @@ let serve_socket server path quiet =
         let fd, _ = Unix.accept sock in
         let ic = Unix.in_channel_of_descr fd in
         let oc = Unix.out_channel_of_descr fd in
-        let outcome = Server.run server ic oc in
-        (try close_out_noerr oc with _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (* one broken client must only end its own session, never the
+           accept loop; the channels are closed on every path *)
+        let outcome =
+          Fun.protect
+            ~finally:(fun () ->
+              close_out_noerr oc;
+              (* close_out already closed the underlying fd; a second
+                 close only matters if the flush path bailed early *)
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              try Server.run server ic oc
+              with e ->
+                if not quiet then
+                  Printf.eprintf "nncs_serve: session error: %s\n%!"
+                    (Printexc.to_string e);
+                `Eof)
+        in
         match outcome with
         | `Shutdown -> if not quiet then Printf.eprintf "nncs_serve: shutdown\n%!"
         | `Eof -> loop ()
@@ -49,6 +63,11 @@ let serve_socket server path quiet =
 
 let run dir tiny dispatchers abs_cache abs_cache_quantum abs_cache_shards memo
     socket quiet =
+  (* a client that disconnects mid-stream must not kill the resident
+     server: with SIGPIPE ignored, writes to a dead peer raise
+     [Sys_error], which the session loop absorbs *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let _, networks =
     if tiny then
       T.load_or_train ~spec:T.tiny_spec ~policy_config:T.tiny_policy_config

@@ -35,10 +35,16 @@ let replay table path =
       | Some (J.Str "verdict_memo"), Some (J.Str fp), Some r -> (
           match Verify.report_of_json r with
           | report -> Hashtbl.replace table fp report
-          | exception J.Parse_error reason ->
+          (* not only [Parse_error]: a corrupt record can fail deeper
+             down, e.g. [Invalid_argument] from box bounds with
+             [lo > hi].  Only genuinely fatal exceptions abort
+             startup. *)
+          | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) ->
+              raise e
+          | exception e ->
               Printf.eprintf
                 "warning: memo %s: skipping unreadable report for %s (%s)\n%!"
-                path fp reason)
+                path fp (Printexc.to_string e))
       | _ -> ())
     (Journal.load path)
 

@@ -1,15 +1,18 @@
 (** The fingerprint-keyed verdict memo: tier 1 of the verification
     service.
 
-    Maps {!Nncs.Verify.fingerprint} digests to whole verification
-    reports, so a job identical to one already answered returns
-    instantly without touching the reachability pipeline.  The
-    fingerprint covers the partition, the command set, the spec probes,
-    the abstraction domain and input splits, and the analysis config —
-    but {e not} the worker count, scheduler, or abstraction-cache
-    settings, which cannot change verdicts (see {!Nncs.Verify.fingerprint});
-    nor the network weights, so one memo must never outlive the network
-    set it was computed against.
+    Maps job fingerprints to whole verification reports, so a job
+    identical to one already answered returns instantly without
+    touching the reachability pipeline.  The key is the
+    {!Nncs.Verify.fingerprint} digest — covering the partition, the
+    command set, the spec probes, the abstraction domain and input
+    splits, and the analysis config, but {e not} the worker count,
+    scheduler, or abstraction-cache settings, which cannot change
+    verdicts — extended by {!Server} with the budget limits when any
+    are set, because a budget-truncated report is not a valid answer
+    under a different budget.  It covers neither the network weights,
+    so one memo must never outlive the network set it was computed
+    against.
 
     Thread-safe: dispatcher domains share one memo behind a mutex.
 
@@ -17,7 +20,8 @@
     [{"t":"verdict_memo","fingerprint":F,"report":R}] line per stored
     verdict): {!create} replays an existing file — tolerating
     crash-truncated lines, which {!Nncs_resilience.Journal.load} skips
-    with a warning — and appends every new verdict, so a restarted
+    with a warning, and individually corrupt records, which replay
+    skips the same way — and appends every new verdict, so a restarted
     server answers past queries from disk. *)
 
 type t

@@ -3,6 +3,7 @@ module Metrics = Nncs_obs.Metrics
 module Firewall = Nncs_resilience.Firewall
 module Fault = Nncs_resilience.Fault
 module Fail = Nncs_resilience.Failure
+module Budget = Nncs_resilience.Budget
 module Cache = Nncs_nnabs.Cache
 module T = Nncs_nnabs.Transformer
 module Verify = Nncs.Verify
@@ -54,6 +55,26 @@ let resolve_cells t = function
   | Protocol.Partition { arcs; headings; arc_indices } ->
       t.make_cells ~arcs ~headings ~arc_indices
 
+(* [Verify.fingerprint] deliberately omits [config.limits]: a per-cell
+   journal written under a tight budget is still resumable under a
+   generous one.  Whole-report memoization is different — a
+   budget-truncated, unknown-heavy report is not a valid answer for a
+   job with a different (or no) budget — so the serve-layer key extends
+   the digest with the limits.  Unlimited jobs (the common case) keep
+   the bare digest, and with it any previously persisted memo
+   journal. *)
+let job_fingerprint ~config sys cells =
+  let fp = Verify.fingerprint ~config sys cells in
+  let l = config.Verify.limits in
+  if Budget.is_unlimited l then fp
+  else
+    let flt = function None -> "-" | Some x -> Printf.sprintf "%.17g" x in
+    let int = function None -> "-" | Some n -> string_of_int n in
+    Printf.sprintf "%s+b:%s:%s:%s" fp
+      (flt l.Budget.deadline_s)
+      (int l.Budget.max_ode_steps)
+      (int l.Budget.max_symstates)
+
 (* One job, synchronously, firewalled.  The fingerprint is computed
    before consulting the memo, so a hit answers without running any
    reachability; a run's report is always stored (even for [memo=false]
@@ -76,7 +97,7 @@ let submit t ~emit (job : Protocol.job) =
               { job.config.Verify.reach with Reach.abs_cache = t.config.cache };
           }
         in
-        let fp = Verify.fingerprint ~config sys cells in
+        let fp = job_fingerprint ~config sys cells in
         emit (Protocol.Accepted { id = job.id; fingerprint = fp });
         let memoized = if job.use_memo then Memo.find t.memo fp else None in
         match memoized with
@@ -146,14 +167,24 @@ let stats_json t =
 
 let run t ic oc =
   let out_lock = Mutex.create () in
+  (* set once the client stops reading (EPIPE/ECONNRESET surface as
+     [Sys_error] when SIGPIPE is ignored).  Emits become no-ops instead
+     of raising: a write failure escaping a dispatcher domain would be
+     re-raised by [Domain.join] and take the whole server down, when the
+     only thing lost is one session's event stream.  Jobs keep running —
+     their verdicts still feed the memo for future sessions. *)
+  let client_gone = ref false in
   let emit ev =
     Mutex.lock out_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock out_lock)
       (fun () ->
-        output_string oc (J.to_string (Protocol.event_to_json ev));
-        output_char oc '\n';
-        flush oc)
+        if not !client_gone then
+          try
+            output_string oc (J.to_string (Protocol.event_to_json ev));
+            output_char oc '\n';
+            flush oc
+          with Sys_error _ -> client_gone := true)
   in
   let queue = Queue.create () in
   let qlock = Mutex.create () in
@@ -209,6 +240,10 @@ let run t ic oc =
   while !continue do
     match input_line ic with
     | exception End_of_file -> continue := false
+    (* a reset connection raises [Sys_error], not [End_of_file]; treat
+       it the same so the drain/join/bye path still runs and no
+       dispatcher domain is leaked *)
+    | exception Sys_error _ -> continue := false
     | line when String.trim line = "" -> ()
     | line -> (
         match J.of_string line with

@@ -47,15 +47,18 @@ val create :
 
 val submit : t -> emit:(Protocol.event -> unit) -> Protocol.job -> unit
 (** Handle one job synchronously on the calling domain: emit [accepted]
-    (with the problem fingerprint), then either the memoized verdict or
-    [progress] events followed by the computed verdict; a failure
-    emits [error].  [emit] must tolerate concurrent invocation when the
-    job runs with [workers > 1] (progress fires from worker domains). *)
+    (with the job fingerprint: {!Nncs.Verify.fingerprint}, extended
+    with the budget limits when any are set — a budget-truncated report
+    must not be served for a differently-budgeted job), then either the
+    memoized verdict or [progress] events followed by the computed
+    verdict; a failure emits [error].  [emit] must tolerate concurrent
+    invocation when the job runs with [workers > 1] (progress fires
+    from worker domains). *)
 
 val lookup : t -> string -> Nncs.Verify.report option
-(** The memoized report for a fingerprint, if any (does not count as a
-    memo hit) — lets benches compare served verdicts against direct
-    runs. *)
+(** The memoized report for a job fingerprint (as emitted in [accepted]
+    and [verdict] events), if any; does not count as a memo hit — lets
+    benches compare served verdicts against direct runs. *)
 
 val stats_json : t -> Nncs_obs.Json.t
 (** Jobs handled, memo size/hits, abstraction-cache hit rate and shard
@@ -72,7 +75,12 @@ val run : t -> in_channel -> out_channel -> [ `Shutdown | `Eof ]
     value says which of the two ended the session (a socket server
     keeps accepting after [`Eof], stops after [`Shutdown]).  Unparseable
     lines produce [error] events with an empty id and do not kill the
-    session. *)
+    session.  A broken client cannot kill the server either: a failed
+    write to [oc] (e.g. [EPIPE] with SIGPIPE ignored) silently drops
+    that session's remaining events — running jobs complete and still
+    feed the memo — and a read error on [ic] ends the session exactly
+    like end-of-input, draining the queue and joining the
+    dispatchers. *)
 
 val close : t -> unit
 (** Close the memo journal (flushing pending appends). *)

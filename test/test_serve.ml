@@ -338,6 +338,47 @@ let test_repeat_answered_from_memo () =
     "and still agrees" v1.vcov v3.vcov;
   Alcotest.(check int) "stats count the jobs" 3 (jobs_counted server - jobs0)
 
+(* regression: the memo key must include the budget limits.  A
+   budget-truncated report stored first must not be served for the same
+   problem without the budget (Verify.fingerprint alone omits
+   config.limits). *)
+let test_budget_distinct_in_memo () =
+  let server = make_server () in
+  let limited_job id =
+    {
+      (homing_job ~id ()) with
+      P.config =
+        {
+          P.default_config with
+          Verify.limits =
+            {
+              Nncs_resilience.Budget.unlimited with
+              Nncs_resilience.Budget.max_ode_steps = Some 1;
+            };
+        };
+    }
+  in
+  let v_lim = find_verdict (collect server (limited_job "tight")) in
+  check "budget-limited first run hits the pipeline" true (v_lim.vsrc = P.Run);
+  (* the same problem, unlimited: must re-run, not collide *)
+  let v_full = find_verdict (collect server (homing_job ~id:"full" ())) in
+  check "unlimited job not served the truncated report" true
+    (v_full.vsrc = P.Run);
+  check "budget-only difference yields distinct fingerprints" true
+    (v_lim.vfp <> v_full.vfp);
+  let direct =
+    Verify.verify_partition ~config:P.default_config (homing_system ())
+      (homing_cells 8)
+  in
+  Alcotest.(check (float 0.0))
+    "unlimited verdict = direct unlimited run" direct.Verify.coverage
+    v_full.vcov;
+  (* an identical budget-limited repeat does share its memo entry *)
+  let v_lim2 = find_verdict (collect server (limited_job "tight2")) in
+  check "same budget answered from the memo" true (v_lim2.vsrc = P.Memo);
+  Alcotest.(check string)
+    "same budget, same fingerprint" v_lim.vfp v_lim2.vfp
+
 let test_poisoned_job_firewalled () =
   let server = make_server () in
   Fun.protect ~finally:Fault.reset (fun () ->
@@ -376,8 +417,19 @@ let test_memo_journal_torn_tail () =
       let memo = Memo.create ~path () in
       Memo.store memo "deadbeef00000001" report;
       Memo.close memo;
-      (* simulate a crash mid-append: a torn, unterminated JSON prefix *)
+      (* a complete record whose report is corrupt deeper than the JSON
+         layer: inverted box bounds raise [Invalid_argument] from
+         [B.of_bounds], not [Parse_error] — replay must skip it too *)
       let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc
+        ({|{"t":"verdict_memo","fingerprint":"c0ffee0000000002",|}
+       ^ {|"report":{"t":"report","coverage":0,"elapsed":0,|}
+       ^ {|"proved_cells":0,"unknown_cells":1,"total_cells":1,|}
+       ^ {|"cells":[{"t":"cell","index":0,"proved_fraction":0,"elapsed":0,|}
+       ^ {|"leaves":[{"box":[[1.0,0.0]],"cmd":0,"depth":0,"proved":false,|}
+       ^ {|"result":{"verdict":"horizon"},"rungs":[],"elapsed":0}]}]}}|}
+       ^ "\n");
+      (* and a crash mid-append: a torn, unterminated JSON prefix *)
       output_string oc "{\"t\":\"verdict_memo\",\"fingerprint\":\"feed";
       close_out oc;
       let reloaded = Memo.create ~path () in
@@ -473,6 +525,78 @@ let test_session_loop () =
   check "eof session still says bye" true
     (List.exists (function P.Bye -> true | _ -> false) events)
 
+let session_server () =
+  Server.create
+    { Server.default_config with Server.dispatchers = 1 }
+    ~make_system:(fun ~domain:_ ~nn_splits:_ -> homing_system ())
+    ~make_cells:(fun ~arcs ~headings:_ ~arc_indices:_ -> homing_cells arcs)
+
+(* regression: a client that stops reading mid-session (writes raise
+   [Sys_error EPIPE] once SIGPIPE is ignored) must not kill a
+   dispatcher domain or the session loop — the session still drains,
+   joins and returns its outcome *)
+let test_broken_client_output () =
+  let old = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigpipe old)
+    (fun () ->
+      let in_path = Filename.temp_file "nncs_serve_in" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove in_path with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out in_path in
+          List.iter
+            (fun l -> output_string oc (l ^ "\n"))
+            [
+              {|{"t":"job","id":"b1","partition":{"arcs":2,"headings":1}}|};
+              {|{"t":"shutdown"}|};
+            ];
+          close_out oc;
+          let r, w = Unix.pipe () in
+          Unix.close r;
+          let broken = Unix.out_channel_of_descr w in
+          let ic = open_in in_path in
+          let server = session_server () in
+          let outcome = Server.run server ic broken in
+          close_in ic;
+          close_out_noerr broken;
+          Server.close server;
+          check "session survives the broken client" true
+            (outcome = `Shutdown)))
+
+(* regression: a read error (e.g. ECONNRESET on a socket) must end the
+   session like end-of-input — drain, join, bye — not propagate *)
+let test_reader_error_ends_session () =
+  let out_path = Filename.temp_file "nncs_serve_out" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out_path with Sys_error _ -> ())
+    (fun () ->
+      let r, w = Unix.pipe () in
+      Unix.close w;
+      let ic = Unix.in_channel_of_descr r in
+      Unix.close r;
+      (* input_line on the dead descriptor raises Sys_error, not
+         End_of_file *)
+      let oc = open_out out_path in
+      let server = session_server () in
+      let outcome = Server.run server ic oc in
+      close_out oc;
+      Server.close server;
+      check "read error ends the session as eof" true (outcome = `Eof);
+      let events = ref [] in
+      let ic = In_channel.open_text out_path in
+      (try
+         while true do
+           let line = input_line ic in
+           match P.event_of_json (J.of_string line) with
+           | Ok e -> events := e :: !events
+           | Error msg -> Alcotest.fail ("unparseable event line: " ^ msg)
+         done
+       with End_of_file -> ());
+      In_channel.close ic;
+      check "dispatchers joined and bye emitted" true
+        (List.exists (function P.Bye -> true | _ -> false) !events))
+
 let () =
   Alcotest.run "serve"
     [
@@ -489,6 +613,8 @@ let () =
             test_served_verdict_matches_direct;
           Alcotest.test_case "repeat answered from memo" `Quick
             test_repeat_answered_from_memo;
+          Alcotest.test_case "budget keys the memo" `Quick
+            test_budget_distinct_in_memo;
           Alcotest.test_case "poisoned job firewalled" `Quick
             test_poisoned_job_firewalled;
           Alcotest.test_case "empty partition rejected" `Quick
@@ -500,5 +626,11 @@ let () =
             test_memo_journal_torn_tail;
         ] );
       ( "session",
-        [ Alcotest.test_case "jsonl session loop" `Quick test_session_loop ] );
+        [
+          Alcotest.test_case "jsonl session loop" `Quick test_session_loop;
+          Alcotest.test_case "broken client output survived" `Quick
+            test_broken_client_output;
+          Alcotest.test_case "reader error ends session" `Quick
+            test_reader_error_ends_session;
+        ] );
     ]
