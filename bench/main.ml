@@ -749,7 +749,12 @@ let e14 () =
   Nncs_nnabs.Cache.clear (Nncs_nnabs.Cache.shared cache);
   let server =
     Server.create
-      { Server.dispatchers = 1; cache = Some cache; memo_path = None }
+      {
+        Server.default_config with
+        Server.dispatchers = 1;
+        cache = Some cache;
+        memo_path = None;
+      }
       ~make_system ~make_cells
   in
   (* one job per arc slice; input splitting multiplies the F# share of
@@ -792,7 +797,13 @@ let e14 () =
     let verdicts = ref [] in
     let emit = function
       | P.Verdict { fingerprint; source; _ } ->
-          let hit = match source with P.Memo -> true | P.Run -> false in
+          (* sequential submits never coalesce, but a shared-run verdict
+             would equally be a cache hit *)
+          let hit =
+            match source with
+            | P.Memo | P.Coalesced -> true
+            | P.Run -> false
+          in
           verdicts := (fingerprint, hit) :: !verdicts
       | P.Job_error { id; reason } ->
           Stdlib.failwith (Printf.sprintf "job %s failed: %s" id reason)
@@ -877,6 +888,221 @@ let e14 () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "serve report written to %s\n" !serve_out
+
+(* ------------------------------------------------------------------ *)
+(* E15: serve robustness - cancellation latency, coalescing, shedding   *)
+(* ------------------------------------------------------------------ *)
+
+let robust_out = ref "BENCH_serve_robust.json"
+
+let e15 () =
+  section "E15 / serve robustness - cancellation, coalescing, overload";
+  let module Server = Nncs_serve.Server in
+  let module P = Nncs_serve.Protocol in
+  let module J = Nncs_obs.Json in
+  let nets = Lazy.force networks in
+  let make_system ~domain ~nn_splits =
+    S.system ~networks:nets ~domain ~nn_splits ()
+  in
+  let make_cells ~arcs ~headings ~arc_indices =
+    let arc_indices = match arc_indices with [] -> None | l -> Some l in
+    List.map snd (S.initial_cells ~arcs ~headings ?arc_indices ())
+  in
+  let sel = if !tiny then [ 6 ] else [ 2; 3 ] in
+  let nn_splits = if !tiny then 6 else 2 in
+  (* jobs through the wire codec, as in E14 (and with E14's tiny-mode
+     integration cut), so the numbers describe the served path *)
+  let job id memo =
+    let json =
+      J.Obj
+        ([
+           ("t", J.Str "job");
+           ("id", J.Str id);
+           ( "partition",
+             J.Obj
+               [
+                 ("arcs", J.Num 12.0);
+                 ("headings", J.Num 4.0);
+                 ( "arc_indices",
+                   J.List (List.map (fun i -> J.Num (float_of_int i)) sel) );
+               ] );
+           ("nn_splits", J.Num (float_of_int nn_splits));
+           ("memo", J.Bool memo);
+         ]
+        @ if !tiny then [ ("m", J.Num 4.0) ] else [])
+    in
+    match P.request_of_json json with
+    | Ok (P.Job job) -> job
+    | Ok _ -> Stdlib.failwith "bench request is not a job"
+    | Error reason -> Stdlib.failwith ("bench job failed to parse: " ^ reason)
+  in
+  (* uncached servers: warm-cache carry-over between passes would
+     otherwise make raced duplicates look cheaper than they are *)
+  let fresh_server ?max_queue ?(dispatchers = 1) () =
+    Server.create
+      {
+        Server.default_config with
+        Server.dispatchers;
+        cache = None;
+        max_queue;
+      }
+      ~make_system ~make_cells
+  in
+  (* -- cancellation latency: cancel at the first progress event and
+     time how long the run takes to unwind, against the full run -- *)
+  let full_run () =
+    let server = fresh_server () in
+    let t0 = now () in
+    Server.submit server ~emit:(fun _ -> ()) (job "full" false);
+    let dt = now () -. t0 in
+    Server.close server;
+    dt
+  in
+  let cancelled_run () =
+    let server = fresh_server () in
+    let ticket = ref None in
+    let cancel_at = ref 0.0 in
+    Server.submit server
+      ~emit:(fun e ->
+        match e with
+        | P.Progress _ when !cancel_at = 0.0 -> (
+            match !ticket with
+            | Some tk ->
+                cancel_at := now ();
+                ignore (Server.cancel_ticket server tk ~reason:"bench")
+            | None -> ())
+        | _ -> ())
+      ~on_start:(fun tk -> ticket := Some tk)
+      (job "cancelled" false);
+    let dt = if !cancel_at > 0.0 then now () -. !cancel_at else Float.nan in
+    Server.close server;
+    dt
+  in
+  let best f n = List.fold_left Float.min Float.infinity (List.init n (fun _ -> f ())) in
+  let rounds = 3 in
+  let t_full = best full_run rounds in
+  let t_cancel = best cancelled_run rounds in
+  Printf.printf
+    "full run %.3f s, cancel unwinds in %.4f s (%.0fx faster)\n%!" t_full
+    t_cancel
+    (if t_cancel > 0.0 then t_full /. t_cancel else 0.0);
+  (* -- coalesced vs raced duplicates: the same job submitted from
+     [k] domains at once, with coalescing (memo on) and without -- *)
+  let k = 4 in
+  let concurrent label memo =
+    let server = fresh_server () in
+    let gate = Atomic.make false in
+    let lock = Mutex.create () in
+    let sources = ref [] in
+    let emit = function
+      | P.Verdict { source; _ } ->
+          Mutex.lock lock;
+          sources := source :: !sources;
+          Mutex.unlock lock
+      | P.Job_error { id; reason } ->
+          Stdlib.failwith (Printf.sprintf "job %s failed: %s" id reason)
+      | _ -> ()
+    in
+    let domains =
+      List.init k (fun i ->
+          Domain.spawn (fun () ->
+              while not (Atomic.get gate) do
+                Domain.cpu_relax ()
+              done;
+              Server.submit server ~emit
+                (job (Printf.sprintf "%s%d" label i) memo)))
+    in
+    let t0 = now () in
+    Atomic.set gate true;
+    List.iter Domain.join domains;
+    let dt = now () -. t0 in
+    let coalesced =
+      List.length (List.filter (fun s -> s = P.Coalesced) !sources)
+    in
+    Server.close server;
+    (dt, coalesced)
+  in
+  let t_coal, n_coal = concurrent "c" true in
+  let t_race, _ = concurrent "r" false in
+  Printf.printf
+    "%d duplicates: coalesced %.3f s (%d followed), raced %.3f s (%.2fx)\n%!" k
+    t_coal n_coal t_race
+    (if t_coal > 0.0 then t_race /. t_coal else 0.0);
+  (* -- overload shedding: a one-dispatcher session with a queue of two
+     offered a burst through the real session loop -- *)
+  let offered = 16 in
+  let shed_session () =
+    let server = fresh_server ~max_queue:2 () in
+    let in_path = Filename.temp_file "bench_serve_in" ".jsonl" in
+    let out_path = Filename.temp_file "bench_serve_out" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.close server;
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ in_path; out_path ])
+      (fun () ->
+        let oc = open_out in_path in
+        for i = 1 to offered do
+          output_string oc
+            (J.to_string
+               (P.request_to_json (P.Job (job (Printf.sprintf "o%d" i) false))));
+          output_char oc '\n'
+        done;
+        output_string oc "{\"t\":\"shutdown\"}\n";
+        close_out oc;
+        let ic = open_in in_path and oc = open_out out_path in
+        let t0 = now () in
+        ignore (Server.run server ic oc);
+        let dt = now () -. t0 in
+        close_in ic;
+        close_out oc;
+        let shed = ref 0 and served = ref 0 in
+        let ic = In_channel.open_text out_path in
+        (try
+           while true do
+             match P.event_of_json (J.of_string (input_line ic)) with
+             | Ok (P.Verdict _) -> incr served
+             | Ok (P.Job_error _) -> incr shed
+             | _ -> ()
+           done
+         with End_of_file -> ());
+        In_channel.close ic;
+        (dt, !shed, !served))
+  in
+  let t_drain, shed, served = shed_session () in
+  let shed_rate = float_of_int shed /. float_of_int offered in
+  Printf.printf
+    "overload: %d offered, %d shed (%.0f%%), %d served, drained in %.3f s\n%!"
+    offered shed (100.0 *. shed_rate) served t_drain;
+  let json =
+    J.Obj
+      [
+        ("tiny", J.Bool !tiny);
+        ("host_cores", J.Num (float_of_int (Domain.recommended_domain_count ())));
+        ("nn_splits", J.Num (float_of_int nn_splits));
+        ("t_full_run_s", J.Num t_full);
+        ("cancel_latency_s", J.Num t_cancel);
+        ( "cancel_speedup",
+          J.Num (if t_cancel > 0.0 then t_full /. t_cancel else 0.0) );
+        ("duplicates", J.Num (float_of_int k));
+        ("t_coalesced_s", J.Num t_coal);
+        ("t_raced_s", J.Num t_race);
+        ("coalesced_followers", J.Num (float_of_int n_coal));
+        ( "coalesced_speedup",
+          J.Num (if t_coal > 0.0 then t_race /. t_coal else 0.0) );
+        ("overload_offered", J.Num (float_of_int offered));
+        ("overload_shed", J.Num (float_of_int shed));
+        ("overload_served", J.Num (float_of_int served));
+        ("overload_shed_rate", J.Num shed_rate);
+        ("t_overload_drain_s", J.Num t_drain);
+      ]
+  in
+  let oc = open_out !robust_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "serve robustness report written to %s\n" !robust_out
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels behind the experiments      *)
@@ -990,12 +1216,13 @@ let () =
   Option.iter (fun p -> cache_out := p) (List.find_map (prefixed "--cache-out=") args);
   Option.iter (fun p -> leaf_out := p) (List.find_map (prefixed "--leaf-out=") args);
   Option.iter (fun p -> serve_out := p) (List.find_map (prefixed "--serve-out=") args);
+  Option.iter (fun p -> robust_out := p) (List.find_map (prefixed "--robust-out=") args);
   if List.mem "--tiny" args then tiny := true;
   let args = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
   let all =
     [ ("e1", e1); ("e1b", e1b); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-      ("e12", e12); ("e13", e13); ("e14", e14) ]
+      ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15) ]
   in
   let want name = args = [] || List.mem name args in
   if List.mem "timing" args then bechamel_suite ()

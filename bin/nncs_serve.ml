@@ -1,8 +1,9 @@
 (* The resident verification server for the ACAS Xu scenario: reads
    JSONL jobs from stdin (or a Unix-domain socket), answers each from
-   the fingerprint-keyed verdict memo, the process-wide sharded F#
-   cache, or a full reachability run, and streams JSONL events back.
-   See DESIGN.md §12 for the protocol.
+   the fingerprint-keyed verdict memo, an identical in-flight run
+   (single-flight coalescing), the process-wide sharded F# cache, or a
+   full reachability run, and streams JSONL events back.  See DESIGN.md
+   §12–13 for the protocol.
 
    Example session (tiny models):
      $ dune exec bin/nncs_serve.exe -- --dir /tmp/nets --tiny-models <<'EOF'
@@ -12,19 +13,63 @@
      {"t":"shutdown"}
      EOF
    q2 is answered from the memo ("source":"memo") without re-running
-   the analysis. *)
+   the analysis.
+
+   SIGTERM/SIGINT trigger the same graceful drain as a shutdown
+   request: stop accepting input, finish queued jobs, emit a final bye,
+   compact and close the memo journal.  The handler closes the fds the
+   reader blocks on, so the session loop's own end-of-input path does
+   the draining — no second shutdown mechanism. *)
 
 module S = Nncs_acasxu.Scenario
 module T = Nncs_acasxu.Training
 module Server = Nncs_serve.Server
 
-let serve_stdio server = ignore (Server.run server stdin stdout)
+(* ----- signal-driven graceful drain -----
+
+   All registration happens on the main domain, which is also where
+   OCaml runs signal handlers, so plain refs suffice.  The handler
+   closes every registered "wake" fd: a reader blocked on one restarts
+   its syscall after the handler and immediately fails on the closed
+   fd, funnelling into the session loop's EOF/error drain path. *)
+
+let draining = Atomic.make false
+let wake_fds : Unix.file_descr list ref = ref []
+
+let close_wake_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let register_wake_fd fd =
+  wake_fds := fd :: !wake_fds;
+  (* the signal may have landed between the two lines above; closing
+     here (idempotent) keeps the drain from missing this fd *)
+  if Atomic.get draining then close_wake_fd fd
+
+let unregister_wake_fd fd = wake_fds := List.filter (fun f -> f != fd) !wake_fds
+
+let drain_on_signal _ =
+  Atomic.set draining true;
+  let fds = !wake_fds in
+  wake_fds := [];
+  List.iter close_wake_fd fds
+
+let install_signal_handlers () =
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle drain_on_signal)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
+let serve_stdio server =
+  register_wake_fd Unix.stdin;
+  ignore (Server.run server stdin stdout)
 
 let serve_socket server path quiet =
   if Sys.file_exists path then Sys.remove path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  register_wake_fd sock;
   Fun.protect
     ~finally:(fun () ->
+      unregister_wake_fd sock;
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Sys.remove path with Sys_error _ -> ())
     (fun () ->
@@ -35,39 +80,53 @@ let serve_socket server path quiet =
          via the dispatcher domains, and verdict memo + abstraction
          cache persist across sessions *)
       let rec loop () =
-        let fd, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        (* one broken client must only end its own session, never the
-           accept loop; the channels are closed on every path *)
-        let outcome =
-          Fun.protect
-            ~finally:(fun () ->
-              close_out_noerr oc;
-              (* close_out already closed the underlying fd; a second
-                 close only matters if the flush path bailed early *)
-              try Unix.close fd with Unix.Unix_error _ -> ())
-            (fun () ->
-              try Server.run server ic oc
-              with e ->
-                if not quiet then
-                  Printf.eprintf "nncs_serve: session error: %s\n%!"
-                    (Printexc.to_string e);
-                `Eof)
-        in
-        match outcome with
-        | `Shutdown -> if not quiet then Printf.eprintf "nncs_serve: shutdown\n%!"
-        | `Eof -> loop ()
+        match Unix.accept sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            if not (Atomic.get draining) then loop ()
+        | exception Unix.Unix_error _ when Atomic.get draining ->
+            (* the handler closed the listen socket out from under us:
+               that is the drain, not an error *)
+            ()
+        | fd, _ ->
+            register_wake_fd fd;
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            (* one broken client must only end its own session, never
+               the accept loop; the channels are closed on every path *)
+            let outcome =
+              Fun.protect
+                ~finally:(fun () ->
+                  unregister_wake_fd fd;
+                  close_out_noerr oc;
+                  (* close_out already closed the underlying fd; a
+                     second close only matters if the flush path bailed
+                     early *)
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () ->
+                  try Server.run server ic oc
+                  with e ->
+                    if not quiet then
+                      Printf.eprintf "nncs_serve: session error: %s\n%!"
+                        (Printexc.to_string e);
+                    `Eof)
+            in
+            (match outcome with
+            | `Shutdown ->
+                if not quiet then Printf.eprintf "nncs_serve: shutdown\n%!"
+            | `Eof -> if not (Atomic.get draining) then loop ())
       in
-      loop ())
+      loop ();
+      if Atomic.get draining && not quiet then
+        Printf.eprintf "nncs_serve: drained on signal\n%!")
 
 let run dir tiny dispatchers abs_cache abs_cache_quantum abs_cache_shards memo
-    socket quiet =
+    memo_capacity max_queue max_line_bytes job_deadline socket quiet =
   (* a client that disconnects mid-stream must not kill the resident
      server: with SIGPIPE ignored, writes to a dead peer raise
      [Sys_error], which the session loop absorbs *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  install_signal_handlers ();
   let _, networks =
     if tiny then
       T.load_or_train ~spec:T.tiny_spec ~policy_config:T.tiny_policy_config
@@ -79,6 +138,7 @@ let run dir tiny dispatchers abs_cache abs_cache_quantum abs_cache_shards memo
     let arc_indices = match arc_indices with [] -> None | l -> Some l in
     List.map snd (S.initial_cells ~arcs ~headings ?arc_indices ())
   in
+  let pos_opt n = if n <= 0 then None else Some n in
   let config =
     {
       Server.dispatchers;
@@ -92,6 +152,10 @@ let run dir tiny dispatchers abs_cache abs_cache_quantum abs_cache_shards memo
                shards = abs_cache_shards;
              });
       memo_path = memo;
+      memo_capacity = pos_opt memo_capacity;
+      max_queue = pos_opt max_queue;
+      max_line_bytes;
+      job_deadline_s = (if job_deadline <= 0.0 then None else Some job_deadline);
     }
   in
   let server = Server.create config ~make_system ~make_cells in
@@ -151,7 +215,37 @@ let memo =
     & info [ "memo" ]
         ~doc:"Back the fingerprint-keyed verdict memo with this JSONL \
               journal: replayed on startup, appended on every new \
-              verdict.  Only valid for one network set.")
+              verdict, compacted when evictions bloat it.  Only valid \
+              for one network set.")
+
+let memo_capacity =
+  Arg.(
+    value & opt int 0
+    & info [ "memo-capacity" ]
+        ~doc:"Bound the verdict memo to this many entries (LRU \
+              eviction); 0 means unbounded.")
+
+let max_queue =
+  Arg.(
+    value & opt int 0
+    & info [ "max-queue" ]
+        ~doc:"Shed jobs with an overloaded error once this many are \
+              queued in a session; 0 means unbounded.")
+
+let max_line_bytes =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_line_bytes
+    & info [ "max-line-bytes" ]
+        ~doc:"Discard request lines longer than this many bytes with an \
+              error event instead of buffering them.")
+
+let job_deadline =
+  Arg.(
+    value & opt float 0.0
+    & info [ "job-deadline" ]
+        ~doc:"Cancel any job still running after this many seconds \
+              (server-side straggler watchdog); 0 disables it.")
 
 let socket =
   Arg.(
@@ -171,6 +265,7 @@ let cmd =
              closed loop")
     Term.(
       const run $ dir $ tiny $ dispatchers $ abs_cache $ abs_cache_quantum
-      $ abs_cache_shards $ memo $ socket $ quiet)
+      $ abs_cache_shards $ memo $ memo_capacity $ max_queue $ max_line_bytes
+      $ job_deadline $ socket $ quiet)
 
 let () = exit (Cmd.eval' cmd)

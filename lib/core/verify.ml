@@ -142,8 +142,9 @@ let cell_has_failure c = List.exists (fun l -> leaf_failure l <> None) c.leaves
                             Lohner/Taylor step, smaller a-priori boxes)
      3. "interval_domain" — swap the controller abstraction down to the
                             cheap interval transformer
-   Budget exhaustion short-circuits: retrying with *more* work cannot
-   help a cell that ran out of time or steps. *)
+   Budget exhaustion and cancellation short-circuit: retrying with
+   *more* work cannot help a cell that ran out of time or steps, and a
+   cancelled cell must stop, not retry. *)
 
 let rung_base = "base"
 let rung_halved = "halved_step"
@@ -156,7 +157,8 @@ let run_ladder config budget sys st =
   let base = config.reach in
   match attempt base budget sys st with
   | Ok r -> (Ok r, [ rung_base ])
-  | Error (Failure_.Budget_exceeded _ as f) -> (Error f, [ rung_base ])
+  | Error ((Failure_.Budget_exceeded _ | Failure_.Cancelled _) as f) ->
+      (Error f, [ rung_base ])
   | Error _ -> (
       Metrics.incr m_retry_halved;
       let halved =
@@ -164,7 +166,7 @@ let run_ladder config budget sys st =
       in
       match attempt halved budget sys st with
       | Ok r -> (Ok r, [ rung_base; rung_halved ])
-      | Error (Failure_.Budget_exceeded _ as f) ->
+      | Error ((Failure_.Budget_exceeded _ | Failure_.Cancelled _) as f) ->
           (Error f, [ rung_base; rung_halved ])
       | Error f2 ->
           let ctrl = sys.System.controller in
@@ -204,7 +206,7 @@ let unknown_leaf ?(rungs = []) ?(elapsed = 0.0) ~depth st f =
   Metrics.incr m_unknown_leaves;
   { state = st; depth; proved = false; result = Failed f; rungs; elapsed }
 
-let verify_cell ?(config = default_config) ?(index = 0) sys cell =
+let verify_cell ?cancel ?(config = default_config) ?(index = 0) sys cell =
   if config.max_depth < 0 then invalid_arg "Verify.verify_cell: negative depth";
   (match config.strategy with
   | All_dims [] | Most_influential { candidates = []; _ }
@@ -212,7 +214,7 @@ let verify_cell ?(config = default_config) ?(index = 0) sys cell =
       invalid_arg "Verify.verify_cell: no split dimensions"
   | All_dims _ | Most_influential _ -> ());
   let factor = float_of_int (1 lsl strategy_arity config.strategy) in
-  let budget = Budget.start config.limits in
+  let budget = Budget.start ?cancel config.limits in
   let rec go depth st =
     let (verdict, rungs, dt) =
       Span.with_ "verify.leaf"
@@ -226,13 +228,13 @@ let verify_cell ?(config = default_config) ?(index = 0) sys cell =
     if proved then Metrics.incr m_proved_leaves;
     let out_of_budget =
       match verdict with
-      | Error (Failure_.Budget_exceeded _) -> true
+      | Error (Failure_.Budget_exceeded _ | Failure_.Cancelled _) -> true
       | _ -> false
     in
     (* refinement also drives "could not conclude": a failed leaf is
        split like an unproved one (smaller boxes often restore the
-       enclosure) — except when the budget is gone, where splitting
-       would only multiply the failures *)
+       enclosure) — except when the budget is gone or the job was
+       cancelled, where splitting would only multiply the failures *)
     if proved || depth >= config.max_depth || out_of_budget then begin
       (match verdict with
       | Ok r ->
@@ -311,10 +313,11 @@ let crashed_cell_report index st msg =
    The original flat work queue: each pending cell index is one task; a
    worker runs the cell's whole refinement tree to completion. *)
 
-let run_cells ~config ~count_once ~on_cell ~(results : cell_report option array)
-    ~(cells_arr : Symstate.t array) sys pending =
+let run_cells ?cancel ~config ~count_once ~on_cell
+    ~(results : cell_report option array) ~(cells_arr : Symstate.t array) sys
+    pending =
   let run_one i =
-    let r = verify_cell ~config ~index:i sys cells_arr.(i) in
+    let r = verify_cell ?cancel ~config ~index:i sys cells_arr.(i) in
     (match on_cell with Some f -> f r | None -> ());
     count_once i;
     r
@@ -456,7 +459,7 @@ module Frontier = struct
             Some pick)
 end
 
-let run_leaves ~config ~count_once ~on_cell ~on_leaf ~partial
+let run_leaves ?cancel ~config ~count_once ~on_cell ~on_leaf ~partial
     ~(results : cell_report option array) ~(cells_arr : Symstate.t array) sys
     pending =
   if config.max_depth < 0 then
@@ -477,7 +480,7 @@ let run_leaves ~config ~count_once ~on_cell ~on_leaf ~partial
     match Atomic.get budgets.(i) with
     | Some b -> b
     | None ->
-        let b = Budget.start config.limits in
+        let b = Budget.start ?cancel config.limits in
         if Atomic.compare_and_set budgets.(i) None (Some b) then b
         else
           (match Atomic.get budgets.(i) with
@@ -635,7 +638,9 @@ let run_leaves ~config ~count_once ~on_cell ~on_leaf ~partial
                 if proved then Metrics.incr m_proved_leaves;
                 let out_of_budget =
                   match verdict with
-                  | Error (Failure_.Budget_exceeded _) -> true
+                  | Error (Failure_.Budget_exceeded _ | Failure_.Cancelled _)
+                    ->
+                      true
                   | _ -> false
                 in
                 if proved || task.t_depth >= config.max_depth || out_of_budget
@@ -743,8 +748,8 @@ let run_leaves ~config ~count_once ~on_cell ~on_leaf ~partial
       if Atomic.get live > 0 then worker_loop config.workers
     end
 
-let verify_partition ?(config = default_config) ?progress ?on_cell ?on_leaf
-    ?(completed = []) ?(partial = []) sys cells =
+let verify_partition ?cancel ?(config = default_config) ?progress ?on_cell
+    ?on_leaf ?(completed = []) ?(partial = []) sys cells =
   let t0 = now () in
   let cells_arr = Array.of_list cells in
   let total = Array.length cells_arr in
@@ -773,10 +778,12 @@ let verify_partition ?(config = default_config) ?progress ?on_cell ?on_leaf
     List.filter (fun i -> results.(i) = None) (List.init total Fun.id)
   in
   (match config.scheduler with
-  | Cells -> run_cells ~config ~count_once ~on_cell ~results ~cells_arr sys pending
+  | Cells ->
+      run_cells ?cancel ~config ~count_once ~on_cell ~results ~cells_arr sys
+        pending
   | Leaves ->
-      run_leaves ~config ~count_once ~on_cell ~on_leaf ~partial ~results
-        ~cells_arr sys pending);
+      run_leaves ?cancel ~config ~count_once ~on_cell ~on_leaf ~partial
+        ~results ~cells_arr sys pending);
   let cell_reports =
     Array.to_list results
     |> List.map (function Some r -> r | None -> assert false)
@@ -1113,10 +1120,10 @@ let report_of_json j =
 
 type job = { job_config : config; job_cells : Symstate.t list }
 
-let run_job ?progress ?on_cell sys job =
+let run_job ?cancel ?progress ?on_cell sys job =
   let fp = fingerprint ~config:job.job_config sys job.job_cells in
   let report =
-    verify_partition ~config:job.job_config ?progress ?on_cell sys
+    verify_partition ?cancel ~config:job.job_config ?progress ?on_cell sys
       job.job_cells
   in
   (fp, report)

@@ -90,15 +90,22 @@ val leaf_failure : leaf -> Nncs_resilience.Failure.t option
 val cell_has_failure : cell_report -> bool
 
 val verify_cell :
-  ?config:config -> ?index:int -> System.t -> Symstate.t -> cell_report
+  ?cancel:Nncs_resilience.Cancel.t ->
+  ?config:config ->
+  ?index:int ->
+  System.t ->
+  Symstate.t ->
+  cell_report
 (** Verify one initial cell with split refinement; the report's [index]
     field is [index] (default 0).  Never raises on analysis failures:
     the per-cell firewall turns them into [Failed] leaves.  A leaf that
     fails with budget left is split like an unproved one (refinement as
-    failure recovery); once the budget is exhausted the cell stops
-    refining. *)
+    failure recovery); once the budget is exhausted — or [cancel] is
+    tripped — the cell stops refining.  A cancelled cell's remaining
+    leaves degrade to [Failed (Cancelled _)]. *)
 
 val verify_partition :
+  ?cancel:Nncs_resilience.Cancel.t ->
   ?config:config ->
   ?progress:(int -> int -> unit) ->
   ?on_cell:(cell_report -> unit) ->
@@ -148,7 +155,14 @@ val verify_partition :
     leaves are not recomputed (and not re-journaled through [on_leaf]),
     interior nodes on the way to them re-split deterministically
     without re-running reachability.  [partial] is ignored by the
-    [Cells] scheduler. *)
+    [Cells] scheduler.
+
+    [cancel] threads a cooperative cancellation token into every cell
+    budget: once tripped, in-flight leaves unwind at their next budget
+    gate (one control step), pending work degrades to
+    [Failed (Cancelled _)] without being analysed, and the call returns
+    a complete (all-cells-accounted) report promptly instead of running
+    the partition to the end. *)
 
 val coverage_of_cells : cell_report list -> float
 
@@ -228,6 +242,7 @@ val report_of_json : Nncs_obs.Json.t -> report
 type job = { job_config : config; job_cells : Symstate.t list }
 
 val run_job :
+  ?cancel:Nncs_resilience.Cancel.t ->
   ?progress:(int -> int -> unit) ->
   ?on_cell:(cell_report -> unit) ->
   System.t ->

@@ -1,0 +1,5 @@
+external monotonic_s : unit -> float = "nncs_obs_monotonic_s"
+
+let elapsed_s ~since =
+  Float.max 0.0 (monotonic_s () -. since)
+  [@lint.fp_exact "wall-clock telemetry"]

@@ -1,0 +1,20 @@
+(** The monotonic clock, for measuring elapsed intervals.
+
+    {!Unix.gettimeofday} is wall-calendar time: NTP can step it
+    backwards mid-measurement, producing negative [elapsed_s] in
+    verdicts, bench artifacts, and deadline arithmetic.  [monotonic_s]
+    reads [CLOCK_MONOTONIC] (via a local C stub — OCaml 5.1's unix
+    library has no [clock_gettime] binding), which only ever advances.
+
+    The absolute value is meaningless (seconds since an arbitrary epoch,
+    typically boot); only differences between two reads carry
+    information.  Never mix it with {!Unix.gettimeofday} stamps. *)
+
+val monotonic_s : unit -> float
+(** Seconds on the monotonic clock; on hosts without [CLOCK_MONOTONIC]
+    this silently degrades to the wall clock. *)
+
+val elapsed_s : since:float -> float
+(** [elapsed_s ~since] is [monotonic_s () -. since], clamped to [>= 0]
+    so callers can rely on non-negative durations even through the
+    wall-clock fallback. *)

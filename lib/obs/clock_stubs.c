@@ -1,0 +1,32 @@
+/* Monotonic wall time for elapsed-interval measurement.
+
+   OCaml 5.1's unix library has no clock_gettime binding, and
+   Unix.gettimeofday is steered by NTP: a backwards step mid-job makes
+   elapsed_s in verdicts and bench artifacts negative.  CLOCK_MONOTONIC
+   only ever advances; when it is unavailable (non-POSIX hosts) we fall
+   back to the wall clock, which merely restores the old behaviour. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+#if !defined(_WIN32)
+#include <sys/time.h>
+#endif
+
+CAMLprim value nncs_obs_monotonic_s(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
+#endif
+#if !defined(_WIN32)
+  {
+    struct timeval tv;
+    if (gettimeofday(&tv, NULL) == 0)
+      return caml_copy_double((double)tv.tv_sec + 1e-6 * (double)tv.tv_usec);
+  }
+#endif
+  return caml_copy_double(0.0);
+}

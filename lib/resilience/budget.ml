@@ -10,20 +10,24 @@ let is_unlimited l =
   l.deadline_s = None && l.max_ode_steps = None && l.max_symstates = None
 
 type t = {
-  deadline : float option;  (* absolute wall-clock stamp *)
+  deadline : float option;  (* absolute monotonic-clock stamp *)
   max_ode_steps : int option;
   max_symstates : int option;
   ode_steps : int Atomic.t;
+  cancel : Cancel.t;
 }
 
 exception Exhausted of Failure.budget_kind
 
-let start l =
+let now () = Nncs_obs.Clock.monotonic_s ()
+
+let start ?(cancel = Cancel.never) l =
   {
-    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) l.deadline_s;
+    deadline = Option.map (fun s -> now () +. s) l.deadline_s;
     max_ode_steps = l.max_ode_steps;
     max_symstates = l.max_symstates;
     ode_steps = Atomic.make 0;
+    cancel;
   }
 
 let none =
@@ -32,19 +36,22 @@ let none =
     max_ode_steps = None;
     max_symstates = None;
     ode_steps = Atomic.make 0;
+    cancel = Cancel.never;
   }
 
 let check_deadline t =
+  Cancel.check t.cancel;
   match t.deadline with
-  | Some d when Unix.gettimeofday () >= d -> raise (Exhausted Failure.Deadline)
+  | Some d when now () >= d -> raise (Exhausted Failure.Deadline)
   | _ -> ()
 
 let expired t =
-  match t.deadline with
-  | Some d -> Unix.gettimeofday () >= d
-  | None -> false
+  Cancel.cancelled t.cancel
+  ||
+  match t.deadline with Some d -> now () >= d | None -> false
 
 let add_ode_steps t n =
+  Cancel.check t.cancel;
   match t.max_ode_steps with
   | None -> ()
   | Some m ->
@@ -57,3 +64,4 @@ let check_symstates t n =
   | _ -> ()
 
 let used_ode_steps t = Atomic.get t.ode_steps
+let cancel_token t = t.cancel

@@ -8,7 +8,13 @@
     instead of monopolising a worker.
 
     Checks are cheap (a clock read or an atomic add) and are meant to be
-    called from the hot reach loop once per control step. *)
+    called from the hot reach loop once per control step.
+
+    A budget also carries a {!Cancel} token: the same hot-loop gates
+    ([check_deadline] / [add_ode_steps]) poll it, so cooperative
+    cancellation rides the existing budget plumbing at the cost of one
+    extra atomic load per gate.  Deadlines are stamped against the
+    monotonic clock ({!Nncs_obs.Clock}), immune to NTP steps. *)
 
 type limits = {
   deadline_s : float option;
@@ -29,25 +35,35 @@ type t
 
 exception Exhausted of Failure.budget_kind
 
-val start : limits -> t
-(** Stamp the deadline now; counters start at zero. *)
+val start : ?cancel:Cancel.t -> limits -> t
+(** Stamp the deadline now (monotonic clock); counters start at zero.
+    [cancel] (default {!Cancel.never}) is polled by every
+    {!check_deadline} / {!add_ode_steps} gate, which raise
+    [Cancel.Cancelled] once it is tripped. *)
 
 val none : t
 (** The no-op budget (all checks pass); shared, never exhausts. *)
 
 val check_deadline : t -> unit
-(** Raises [Exhausted Deadline] once the wall clock passes the stamp. *)
+(** Raises [Cancel.Cancelled] if the cancel token is tripped, else
+    [Exhausted Deadline] once the clock passes the stamp. *)
 
 val expired : t -> bool
-(** Non-raising probe of the deadline: has the wall clock passed the
-    stamp?  Always [false] for deadline-less budgets.  Schedulers use it
-    to fast-track work items whose budget is already gone. *)
+(** Non-raising probe: has the deadline passed, or the cancel token
+    tripped?  Always [false] for deadline-less uncancellable budgets.
+    Schedulers use it to fast-track work items whose budget is already
+    gone. *)
 
 val add_ode_steps : t -> int -> unit
-(** Account [n] integrator sub-steps; raises [Exhausted Ode_steps] when
-    the running total crosses the cap. *)
+(** Account [n] integrator sub-steps; raises [Cancel.Cancelled] if the
+    token is tripped, else [Exhausted Ode_steps] when the running total
+    crosses the cap. *)
 
 val check_symstates : t -> int -> unit
 (** Raises [Exhausted Symbolic_states] when [n] exceeds the cap. *)
 
 val used_ode_steps : t -> int
+
+val cancel_token : t -> Cancel.t
+(** The token this budget polls ({!Cancel.never} unless one was passed
+    to {!start}). *)

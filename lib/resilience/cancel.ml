@@ -1,0 +1,17 @@
+type t = { state : string option Atomic.t }
+
+exception Cancelled of string
+
+let create () = { state = Atomic.make None }
+let never = create ()
+
+let cancel t ~reason =
+  (* first reason wins; losing the race means someone else's reason is
+     already in place, which is just as final *)
+  ignore (Atomic.compare_and_set t.state None (Some reason))
+
+let cancelled t = Atomic.get t.state <> None
+let reason t = Atomic.get t.state
+
+let check t =
+  match Atomic.get t.state with None -> () | Some r -> raise (Cancelled r)

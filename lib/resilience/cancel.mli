@@ -1,0 +1,42 @@
+(** Cooperative cancellation tokens.
+
+    A token is an atomic flag plus the reason it was tripped.  The
+    holder of a long-running work item (a resident server's dispatcher,
+    a straggler watchdog) trips the token from any domain; the work
+    polls it from its hot loop — a poll on an untripped token costs one
+    atomic load — and unwinds by raising {!Cancelled}, which the
+    {!Firewall} maps to a {!Failure.Cancelled} verdict.
+
+    Tokens ride inside {!Budget}: the existing budget gates in the
+    reach loop and the leaf scheduler ([check_deadline] /
+    [add_ode_steps], hit once per control step) double as cancellation
+    poll points, so a cancelled job is observed within one control
+    step of one leaf — cancellation latency is bounded by
+    construction, without a single extra poll site.
+
+    Tripping is idempotent and sticky: the first reason wins, a token
+    never un-cancels. *)
+
+type t
+
+exception Cancelled of string
+(** Raised by {!check} on a tripped token; the payload is the reason. *)
+
+val create : unit -> t
+(** A fresh, untripped token. *)
+
+val never : t
+(** A shared token that is never tripped (and must never be passed to
+    {!cancel}): the no-op default for uncancellable work. *)
+
+val cancel : t -> reason:string -> unit
+(** Trip the token.  Idempotent; the first reason is kept. *)
+
+val cancelled : t -> bool
+(** One atomic load. *)
+
+val reason : t -> string option
+(** The reason the token was tripped, if it was. *)
+
+val check : t -> unit
+(** Raise [Cancelled reason] if tripped; no-op otherwise. *)

@@ -5,6 +5,7 @@ type budget_kind = Deadline | Ode_steps | Symbolic_states
 type t =
   | Enclosure_diverged of string
   | Budget_exceeded of budget_kind
+  | Cancelled of string
   | Numeric of string
   | Worker_crashed of string
 
@@ -22,6 +23,7 @@ let budget_kind_of_string = function
 let to_string = function
   | Enclosure_diverged msg -> "enclosure_diverged: " ^ msg
   | Budget_exceeded k -> "budget_exceeded: " ^ budget_kind_to_string k
+  | Cancelled reason -> "cancelled: " ^ reason
   | Numeric msg -> "numeric: " ^ msg
   | Worker_crashed msg -> "worker_crashed: " ^ msg
 
@@ -34,6 +36,8 @@ let to_json = function
           ("reason", Json.Str "budget_exceeded");
           ("kind", Json.Str (budget_kind_to_string k));
         ]
+  | Cancelled reason ->
+      Json.Obj [ ("reason", Json.Str "cancelled"); ("detail", Json.Str reason) ]
   | Numeric msg ->
       Json.Obj [ ("reason", Json.Str "numeric"); ("detail", Json.Str msg) ]
   | Worker_crashed msg ->
@@ -54,6 +58,7 @@ let of_json j =
           | Some kind -> Budget_exceeded kind
           | None -> fail "Failure.of_json: unknown budget kind %S" k)
       | _ -> fail "Failure.of_json: budget_exceeded without kind")
+  | Some (Json.Str "cancelled") -> Cancelled (detail ())
   | Some (Json.Str "numeric") -> Numeric (detail ())
   | Some (Json.Str "worker_crashed") -> Worker_crashed (detail ())
   | Some (Json.Str r) -> fail "Failure.of_json: unknown reason %S" r

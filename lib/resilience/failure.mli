@@ -3,7 +3,7 @@
     exception.  A cell whose analysis fails degrades to an [Unknown]
     verdict carrying one of these reasons; sibling cells are unaffected.
 
-    The taxonomy is deliberately closed (four constructors): downstream
+    The taxonomy is deliberately closed (five constructors): downstream
     consumers — journals, reports, refinement policies — must handle
     every case, and anything unrecognised is folded into
     {!Worker_crashed} by the {!Firewall}. *)
@@ -18,6 +18,10 @@ type t =
       (** the validated integrator found no contracting a-priori
           enclosure (e.g. [Apriori.Enclosure_failure]) *)
   | Budget_exceeded of budget_kind
+  | Cancelled of string
+      (** the work item's {!Cancel} token was tripped (client cancel
+          request, server-side job deadline, shutdown); the payload is
+          the trip reason *)
   | Numeric of string
       (** numeric garbage: NaN bounds, empty interval meet, division by
           an interval containing zero *)

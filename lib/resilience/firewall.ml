@@ -3,6 +3,7 @@ let fatal = function Out_of_memory | Sys.Break -> true | _ -> false
 let protect ~classify f =
   try Ok (f ()) with
   | Budget.Exhausted kind -> Error (Failure.Budget_exceeded kind)
+  | Cancel.Cancelled reason -> Error (Failure.Cancelled reason)
   | e when not (fatal e) -> (
       match classify e with
       | Some failure -> Error failure

@@ -2,7 +2,8 @@
 
     [protect ~classify f] runs [f] and converts any escaping exception
     into a structured {!Failure.t}: budget exhaustion maps to
-    [Budget_exceeded], [classify] maps domain exceptions it recognises
+    [Budget_exceeded], a tripped {!Cancel} token maps to [Cancelled],
+    [classify] maps domain exceptions it recognises
     (enclosure failures, numeric errors, ...), and anything else becomes
     [Worker_crashed] with the exception's rendering — so one poisoned
     work item yields an [Unknown] verdict instead of killing the run.

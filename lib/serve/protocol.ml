@@ -20,9 +20,9 @@ type job = {
   use_memo : bool;
 }
 
-type request = Job of job | Stats | Shutdown
+type request = Job of job | Cancel of string | Stats | Shutdown
 
-type source = Memo | Run
+type source = Memo | Run | Coalesced
 
 type event =
   | Accepted of { id : string; fingerprint : string }
@@ -37,6 +37,7 @@ type event =
       total_cells : int;
       elapsed_s : float;
     }
+  | Cancelled of { id : string; reason : string }
   | Job_error of { id : string; reason : string }
   | Stats_report of J.t
   | Bye
@@ -48,7 +49,10 @@ let default_config =
     max_depth = 0;
   }
 
-let source_to_string = function Memo -> "memo" | Run -> "run"
+let source_to_string = function
+  | Memo -> "memo"
+  | Run -> "run"
+  | Coalesced -> "coalesced"
 
 (* ----- field accessors: every failure is a [Parse_error] so the
    request parser's single [try] turns it into an [Error reason] ----- *)
@@ -198,6 +202,7 @@ let request_of_json j =
   try
     match J.member "t" j with
     | Some (J.Str "job") -> Ok (Job (job_of_json j))
+    | Some (J.Str "cancel") -> Ok (Cancel (str_field "id" j))
     | Some (J.Str "stats") -> Ok Stats
     | Some (J.Str "shutdown") -> Ok Shutdown
     | Some (J.Str other) -> Error (Printf.sprintf "unknown request type %S" other)
@@ -275,6 +280,7 @@ let job_to_json (job : job) =
 
 let request_to_json = function
   | Job job -> job_to_json job
+  | Cancel id -> J.Obj [ ("t", J.Str "cancel"); ("id", J.Str id) ]
   | Stats -> J.Obj [ ("t", J.Str "stats") ]
   | Shutdown -> J.Obj [ ("t", J.Str "shutdown") ]
 
@@ -317,6 +323,9 @@ let event_to_json = function
           ("total_cells", num_int total_cells);
           ("elapsed_s", J.Num elapsed_s);
         ]
+  | Cancelled { id; reason } ->
+      J.Obj
+        [ ("t", J.Str "cancelled"); ("id", J.Str id); ("reason", J.Str reason) ]
   | Job_error { id; reason } ->
       J.Obj [ ("t", J.Str "error"); ("id", J.Str id); ("reason", J.Str reason) ]
   | Stats_report payload ->
@@ -351,6 +360,7 @@ let event_of_json j =
                  (match str_field "source" j with
                  | "memo" -> Memo
                  | "run" -> Run
+                 | "coalesced" -> Coalesced
                  | s -> fail "unknown verdict source %S" s);
                coverage = J.to_float (req_field "coverage" j);
                proved_cells = J.to_int (req_field "proved_cells" j);
@@ -359,6 +369,8 @@ let event_of_json j =
                total_cells = J.to_int (req_field "total_cells" j);
                elapsed_s = J.to_float (req_field "elapsed_s" j);
              })
+    | Some (J.Str "cancelled") ->
+        Ok (Cancelled { id = str_field "id" j; reason = str_field "reason" j })
     | Some (J.Str "error") ->
         Ok (Job_error { id = str_field "id" j; reason = str_field "reason" j })
     | Some (J.Str "stats") ->

@@ -1,14 +1,14 @@
 (** Wire protocol of the resident verification service.
 
     One JSON object per line in both directions.  Requests are jobs
-    (spec + initial set + analysis configuration), stats probes, or a
-    shutdown; the server answers with a stream of events tagged by the
-    job's client-chosen [id].
+    (spec + initial set + analysis configuration), cancellations of
+    earlier jobs, stats probes, or a shutdown; the server answers with
+    a stream of events tagged by the job's client-chosen [id].
 
     {b Request grammar} (defaults in brackets; see DESIGN.md §12):
 
     {v
-    request  := job | stats | shutdown
+    request  := job | cancel | stats | shutdown
     job      := { "t":"job", "id":STR,
                   "cells":[cell...] | "partition":{"arcs":N,"headings":N,
                                                    "arc_indices":[N...]},
@@ -27,13 +27,16 @@
                   "max_symstates":N,                         [unlimited]
                   "memo":BOOL }                              [true]
     cell     := { "box":[[lo,hi]...], "cmd":N }
+    cancel   := { "t":"cancel", "id":STR }
     stats    := { "t":"stats" }
     shutdown := { "t":"shutdown" }
     v}
 
     {b Events}: [accepted] (echoes the problem fingerprint), [progress]
     (cells done / total, only for jobs that actually run), [verdict]
-    (with ["source":"memo"|"run"]), [error], [stats], [bye]. *)
+    (with ["source":"memo"|"run"|"coalesced"]), [cancelled] (the
+    terminal event of a cancelled job; also the ack of a [cancel]
+    request), [error], [stats], [bye]. *)
 
 type cells_spec =
   | Explicit of Nncs.Symstate.t list  (** the job carries its own cells *)
@@ -54,9 +57,21 @@ type job = {
           (the run's report is stored either way) *)
 }
 
-type request = Job of job | Stats | Shutdown
+type request =
+  | Job of job
+  | Cancel of string
+      (** cancel the job with this id — queued jobs are dropped before
+          dispatch, a running job's cancel token is tripped; the ack is
+          the job's terminal [Cancelled] event *)
+  | Stats
+  | Shutdown
 
-type source = Memo | Run
+type source =
+  | Memo  (** answered from the verdict memo, no analysis ran *)
+  | Run  (** this job's own analysis run *)
+  | Coalesced
+      (** single-flight: an identical job was already in flight, and
+          this one received the shared run's verdict *)
 
 type event =
   | Accepted of { id : string; fingerprint : string }
@@ -71,6 +86,9 @@ type event =
       total_cells : int;
       elapsed_s : float;
     }
+  | Cancelled of { id : string; reason : string }
+      (** terminal event of a cancelled job; emitted as the immediate
+          ack of an effective [Cancel] request *)
   | Job_error of { id : string; reason : string }
       (** [id] is [""] when the offending line could not be parsed far
           enough to recover one *)

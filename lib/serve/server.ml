@@ -1,5 +1,7 @@
 module J = Nncs_obs.Json
+module Clock = Nncs_obs.Clock
 module Metrics = Nncs_obs.Metrics
+module Cancel = Nncs_resilience.Cancel
 module Firewall = Nncs_resilience.Firewall
 module Fault = Nncs_resilience.Fault
 module Fail = Nncs_resilience.Failure
@@ -11,11 +13,18 @@ module Reach = Nncs.Reach
 
 let m_jobs = Metrics.counter "serve.jobs"
 let m_errors = Metrics.counter "serve.errors"
+let m_coalesced = Metrics.counter "serve.coalesced_jobs"
+let m_cancelled = Metrics.counter "serve.cancelled_jobs"
+let m_shed = Metrics.counter "serve.shed_jobs"
 
 type config = {
   dispatchers : int;
   cache : Cache.config option;
   memo_path : string option;
+  memo_capacity : int option;
+  max_queue : int option;
+  max_line_bytes : int;
+  job_deadline_s : float option;
 }
 
 let default_config =
@@ -24,7 +33,41 @@ let default_config =
     cache =
       Some { Cache.default_config with Cache.capacity = 65536; quantum = 0.0 };
     memo_path = None;
+    memo_capacity = None;
+    max_queue = None;
+    max_line_bytes = 1 lsl 20;
+    job_deadline_s = None;
   }
+
+(* ----- single-flight coalescing -----
+
+   Every job that misses the memo runs as a party of a flight: the
+   party that created the flight is its leader and runs the analysis;
+   concurrent identical jobs (same job fingerprint, memo reads enabled)
+   join as followers and receive the leader's verdict with
+   [source = Coalesced].  Each party carries its own cancel state: the
+   flight's run token trips only when every party has cancelled (or the
+   server-side job deadline fires), so cancelling one follower never
+   kills the shared run. *)
+
+type party = {
+  p_id : string;
+  p_emit : Protocol.event -> unit;
+  p_t0 : float;  (* monotonic submit stamp, for per-party elapsed_s *)
+  mutable p_leader : bool;
+  mutable p_cancelled : bool;  (* under [flock]; ack already emitted *)
+}
+
+type flight = {
+  f_key : int;  (* unique id in [live], for the watchdog *)
+  f_fp : string;
+  f_t0 : float;
+  f_cancel : Cancel.t;
+  mutable f_parties : party list;  (* under [flock] *)
+  mutable f_done : bool;  (* under [flock]; set before notification *)
+}
+
+type ticket = flight * party
 
 type t = {
   config : config;
@@ -32,23 +75,78 @@ type t = {
   make_cells :
     arcs:int -> headings:int -> arc_indices:int list -> Nncs.Symstate.t list;
   memo : Memo.t;
+  flock : Mutex.t;
+  inflight : (string, flight) Hashtbl.t;  (* coalescing index, by fp *)
+  live : (int, flight) Hashtbl.t;  (* every running flight, by key *)
+  mutable next_key : int;
+  stopping : bool Atomic.t;
+  mutable watchdog : unit Domain.t option;
 }
+
+let with_flock t f =
+  Mutex.lock t.flock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.flock) f
+
+(* The straggler watchdog: with [job_deadline_s] set, a domain sweeps
+   the live flights and trips the run token of any flight older than
+   the deadline.  Tripping is all it does — the terminal [cancelled]
+   events are emitted by the leader's completion path, which observes
+   the token within one budget gate. *)
+let watchdog_loop t deadline =
+  let interval = Float.min 0.05 (deadline /. 4.0) in
+  while not (Atomic.get t.stopping) do
+    Unix.sleepf interval;
+    let now = Clock.monotonic_s () in
+    let victims =
+      with_flock t (fun () ->
+          Hashtbl.fold
+            (fun _ f acc ->
+              if (not f.f_done) && now -. f.f_t0 >= deadline then f :: acc
+              else acc)
+            t.live [])
+    in
+    List.iter
+      (fun f -> Cancel.cancel f.f_cancel ~reason:"job deadline exceeded")
+      victims
+  done
 
 let create config ~make_system ~make_cells =
   if config.dispatchers < 1 then
     invalid_arg "Server.create: dispatchers must be >= 1";
+  if config.max_line_bytes < 1 then
+    invalid_arg "Server.create: max_line_bytes must be >= 1";
+  (match config.max_queue with
+  | Some k when k < 1 -> invalid_arg "Server.create: max_queue must be >= 1"
+  | _ -> ());
+  (match config.job_deadline_s with
+  | Some d when d <= 0.0 ->
+      invalid_arg "Server.create: job_deadline_s must be positive"
+  | _ -> ());
   (* install the process-wide cache up front so the very first job (and
      any code path probing [Cache.shared] for stats) sees the same
      table *)
   (match config.cache with
   | Some c -> ignore (Cache.shared c)
   | None -> ());
-  {
-    config;
-    make_system;
-    make_cells;
-    memo = Memo.create ?path:config.memo_path ();
-  }
+  let t =
+    {
+      config;
+      make_system;
+      make_cells;
+      memo =
+        Memo.create ?path:config.memo_path ?capacity:config.memo_capacity ();
+      flock = Mutex.create ();
+      inflight = Hashtbl.create 16;
+      live = Hashtbl.create 16;
+      next_key = 0;
+      stopping = Atomic.make false;
+      watchdog = None;
+    }
+  in
+  (match config.job_deadline_s with
+  | Some d -> t.watchdog <- Some (Domain.spawn (fun () -> watchdog_loop t d))
+  | None -> ());
+  t
 
 let resolve_cells t = function
   | Protocol.Explicit cells -> cells
@@ -75,14 +173,73 @@ let job_fingerprint ~config sys cells =
       (int l.Budget.max_ode_steps)
       (int l.Budget.max_symstates)
 
-(* One job, synchronously, firewalled.  The fingerprint is computed
-   before consulting the memo, so a hit answers without running any
-   reachability; a run's report is always stored (even for [memo=false]
-   jobs — they opt out of reading the memo, not of feeding it). *)
-let submit t ~emit (job : Protocol.job) =
+let cancel_ticket t ((flight, party) : ticket) ~reason =
+  let tripped =
+    with_flock t (fun () ->
+        if flight.f_done || party.p_cancelled then false
+        else begin
+          party.p_cancelled <- true;
+          if List.for_all (fun p -> p.p_cancelled) flight.f_parties then
+            Cancel.cancel flight.f_cancel ~reason;
+          true
+        end)
+  in
+  if tripped then Metrics.incr m_cancelled;
+  tripped
+
+(* Flight completion, always reached when the leader's firewalled run
+   returns: unregister the flight, then deliver each party its terminal
+   event — the leader's verdict carries [source = Run], followers get
+   [Coalesced], and parties that already acknowledged their own
+   cancellation get nothing.  Emission happens outside [flock]: party
+   emitters take session locks, and [flock] must stay innermost. *)
+let finish_flight t flight outcome =
+  let parties =
+    with_flock t (fun () ->
+        flight.f_done <- true;
+        (match Hashtbl.find_opt t.inflight flight.f_fp with
+        | Some f when f == flight -> Hashtbl.remove t.inflight flight.f_fp
+        | _ -> ());
+        Hashtbl.remove t.live flight.f_key;
+        flight.f_parties)
+  in
+  List.iter
+    (fun p ->
+      if not p.p_cancelled then
+        match outcome with
+        | `Report (report : Verify.report) ->
+            p.p_emit
+              (Protocol.Verdict
+                 {
+                   id = p.p_id;
+                   fingerprint = flight.f_fp;
+                   source = (if p.p_leader then Protocol.Run else Protocol.Coalesced);
+                   coverage = report.Verify.coverage;
+                   proved_cells = report.Verify.proved_cells;
+                   unknown_cells = report.Verify.unknown_cells;
+                   total_cells = report.Verify.total_cells;
+                   elapsed_s = Clock.elapsed_s ~since:p.p_t0;
+                 })
+        | `Cancelled reason ->
+            Metrics.incr m_cancelled;
+            p.p_emit (Protocol.Cancelled { id = p.p_id; reason })
+        | `Failed failure ->
+            p.p_emit
+              (Protocol.Job_error
+                 { id = p.p_id; reason = Fail.to_string failure }))
+    parties
+
+(* One job, firewalled.  The fingerprint is computed before consulting
+   the memo, so a hit answers without running any reachability; on a
+   miss the job becomes a flight party (leader or follower, see above).
+   A run's report is always stored unless its token tripped — a
+   cancellation-truncated report must never poison the memo — and even
+   for [memo=false] jobs, which opt out of reading the memo (and of
+   coalescing), not of feeding it. *)
+let submit t ~emit ?on_start (job : Protocol.job) =
   Metrics.incr m_jobs;
-  let t0 = Unix.gettimeofday () in
-  let result =
+  let t0 = Clock.monotonic_s () in
+  let prologue =
     Firewall.protect ~classify:Reach.classify (fun () ->
         Fault.trigger ~key:job.id "serve.job";
         let sys = t.make_system ~domain:job.domain ~nn_splits:job.nn_splits in
@@ -98,38 +255,103 @@ let submit t ~emit (job : Protocol.job) =
           }
         in
         let fp = job_fingerprint ~config sys cells in
-        emit (Protocol.Accepted { id = job.id; fingerprint = fp });
-        let memoized = if job.use_memo then Memo.find t.memo fp else None in
-        match memoized with
-        | Some report -> (fp, Protocol.Memo, report)
-        | None ->
-            let report =
-              Verify.verify_partition ~config
-                ~progress:(fun cells_done total ->
-                  emit (Protocol.Progress { id = job.id; cells_done; total }))
-                sys cells
-            in
-            Memo.store t.memo fp report;
-            (fp, Protocol.Run, report))
+        (sys, cells, config, fp))
   in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
-  match result with
-  | Ok (fp, source, report) ->
-      emit
-        (Protocol.Verdict
-           {
-             id = job.id;
-             fingerprint = fp;
-             source;
-             coverage = report.Verify.coverage;
-             proved_cells = report.Verify.proved_cells;
-             unknown_cells = report.Verify.unknown_cells;
-             total_cells = report.Verify.total_cells;
-             elapsed_s;
-           })
+  match prologue with
   | Error failure ->
       Metrics.incr m_errors;
       emit (Protocol.Job_error { id = job.id; reason = Fail.to_string failure })
+  | Ok (sys, cells, config, fp) -> (
+      emit (Protocol.Accepted { id = job.id; fingerprint = fp });
+      let memoized = if job.use_memo then Memo.find t.memo fp else None in
+      match memoized with
+      | Some report ->
+          emit
+            (Protocol.Verdict
+               {
+                 id = job.id;
+                 fingerprint = fp;
+                 source = Protocol.Memo;
+                 coverage = report.Verify.coverage;
+                 proved_cells = report.Verify.proved_cells;
+                 unknown_cells = report.Verify.unknown_cells;
+                 total_cells = report.Verify.total_cells;
+                 elapsed_s = Clock.elapsed_s ~since:t0;
+               })
+      | None -> (
+          let party =
+            {
+              p_id = job.id;
+              p_emit = emit;
+              p_t0 = t0;
+              p_leader = false;
+              p_cancelled = false;
+            }
+          in
+          let role =
+            with_flock t (fun () ->
+                let incumbent =
+                  if job.use_memo then Hashtbl.find_opt t.inflight fp else None
+                in
+                match incumbent with
+                | Some flight when not flight.f_done ->
+                    flight.f_parties <- party :: flight.f_parties;
+                    Metrics.incr m_coalesced;
+                    `Follow flight
+                | _ ->
+                    party.p_leader <- true;
+                    let key = t.next_key in
+                    t.next_key <- t.next_key + 1;
+                    let flight =
+                      {
+                        f_key = key;
+                        f_fp = fp;
+                        f_t0 = t0;
+                        f_cancel = Cancel.create ();
+                        f_parties = [ party ];
+                        f_done = false;
+                      }
+                    in
+                    if job.use_memo then Hashtbl.replace t.inflight fp flight;
+                    Hashtbl.replace t.live key flight;
+                    `Lead flight)
+          in
+          (* outside [flock]: the callback takes session locks *)
+          (match (on_start, role) with
+          | Some f, (`Lead flight | `Follow flight) -> f (flight, party)
+          | None, _ -> ());
+          match role with
+          | `Follow _ ->
+              (* the dispatcher is free; the shared run's completion
+                 will deliver this party's verdict *)
+              ()
+          | `Lead flight ->
+              let result =
+                Firewall.protect ~classify:Reach.classify (fun () ->
+                    Verify.verify_partition ~cancel:flight.f_cancel ~config
+                      ~progress:(fun cells_done total ->
+                        emit
+                          (Protocol.Progress
+                             { id = job.id; cells_done; total }))
+                      sys cells)
+              in
+              let outcome =
+                match Cancel.reason flight.f_cancel with
+                | Some reason ->
+                    (* the report (if any) is cancellation-truncated:
+                       unknown-heavy, not what an uncancelled run would
+                       answer — never memoized *)
+                    `Cancelled reason
+                | None -> (
+                    match result with
+                    | Ok report ->
+                        Memo.store t.memo fp report;
+                        `Report report
+                    | Error failure ->
+                        Metrics.incr m_errors;
+                        `Failed failure)
+              in
+              finish_flight t flight outcome))
 
 let lookup t fp = Memo.peek t.memo fp
 
@@ -151,19 +373,76 @@ let stats_json t =
               (Array.to_list (Array.map num_int (Cache.shard_sizes cache))) );
         ]
   in
+  let live_flights = with_flock t (fun () -> Hashtbl.length t.live) in
   J.Obj
     ([
        ("jobs", num_int (Metrics.value m_jobs));
        ("errors", num_int (Metrics.value m_errors));
+       ("coalesced_jobs", num_int (Metrics.value m_coalesced));
+       ("cancelled_jobs", num_int (Metrics.value m_cancelled));
+       ("shed_jobs", num_int (Metrics.value m_shed));
+       ("live_flights", num_int live_flights);
        ("memo_entries", num_int (Memo.size t.memo));
        ( "memo_hits",
          num_int (Metrics.value (Metrics.counter "serve.memo_hits")) );
+       ("memo_evictions", num_int (Memo.eviction_count t.memo));
        ("dispatchers", num_int t.config.dispatchers);
        ("host_cores", num_int (Domain.recommended_domain_count ()));
      ]
     @ cache_fields)
 
 (* ----- the session loop ----- *)
+
+(* A bounded line reader: [input_line] would buffer an arbitrarily long
+   line in memory, so one hostile (or corrupt) client line could
+   exhaust the process.  Reading char-by-char against the cap costs a
+   branch per byte on OCaml's buffered channels — noise next to JSON
+   parsing — and overflow discards the rest of the line so the session
+   survives, answering [`Too_long] instead of dying. *)
+let read_line_bounded ic max_bytes =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file ->
+        if Buffer.length buf = 0 then raise End_of_file
+        else `Line (Buffer.contents buf)
+    | '\n' -> `Line (Buffer.contents buf)
+    | c ->
+        if Buffer.length buf >= max_bytes then begin
+          (try
+             while input_char ic <> '\n' do
+               ()
+             done
+           with End_of_file -> ());
+          `Too_long
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+  in
+  go ()
+
+(* Session-side job states, keyed by job id under the session lock. *)
+type jstate =
+  | JQueued of bool ref  (* the queue item's dropped flag *)
+  | JActive of ticket
+  | JDone
+
+type queue_item = { qi_job : Protocol.job; qi_dropped : bool ref }
+
+let event_id = function
+  | Protocol.Accepted { id; _ }
+  | Protocol.Progress { id; _ }
+  | Protocol.Verdict { id; _ }
+  | Protocol.Cancelled { id; _ }
+  | Protocol.Job_error { id; _ } ->
+      Some id
+  | Protocol.Stats_report _ | Protocol.Bye -> None
+
+let is_terminal = function
+  | Protocol.Verdict _ | Protocol.Cancelled _ | Protocol.Job_error _ -> true
+  | _ -> false
 
 let run t ic oc =
   let out_lock = Mutex.create () in
@@ -174,7 +453,7 @@ let run t ic oc =
      only thing lost is one session's event stream.  Jobs keep running —
      their verdicts still feed the memo for future sessions. *)
   let client_gone = ref false in
-  let emit ev =
+  let write_event ev =
     Mutex.lock out_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock out_lock)
@@ -186,35 +465,121 @@ let run t ic oc =
             flush oc
           with Sys_error _ -> client_gone := true)
   in
-  let queue = Queue.create () in
+  let queue : queue_item Queue.t = Queue.create () in
   let qlock = Mutex.create () in
   let qcond = Condition.create () in
   let accepting = ref true in
-  (* [queue]/[accepting] are shared with the dispatcher domains but
-     local to this call; every access goes through [qlock] below. *)
-  let enqueue job =
+  let registry : (string, jstate) Hashtbl.t = Hashtbl.create 32 in
+  (* [queue]/[accepting]/[registry] are shared with the dispatcher
+     domains but local to this call; every access goes through [qlock]
+     below. *)
+  let with_qlock f =
     Mutex.lock qlock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock qlock)
-      (fun () ->
-        Queue.add job queue;
-        Condition.signal qcond)
+    Fun.protect ~finally:(fun () -> Mutex.unlock qlock) f
+  in
+  (* The registry makes each job's event stream single-terminal: the
+     first terminal event (verdict / cancelled / error) moves the id to
+     [JDone] and is written; anything arriving for a [JDone] id — a
+     memo verdict racing a cancel, progress of a just-cancelled run —
+     is suppressed.  Events without a registered id (parse errors with
+     [id = ""], cancel nacks) pass through. *)
+  let emit ev =
+    let write =
+      match event_id ev with
+      | Some id when id <> "" ->
+          with_qlock (fun () ->
+              match Hashtbl.find_opt registry id with
+              | Some JDone -> false
+              | Some _ | None ->
+                  if is_terminal ev && Hashtbl.mem registry id then
+                    Hashtbl.replace registry id JDone;
+                  true)
+      | _ -> true
+    in
+    if write then write_event ev
+  in
+  let enqueue (job : Protocol.job) =
+    let action =
+      with_qlock (fun () ->
+          if job.Protocol.id = "" then `Reject "job id must be non-empty"
+          else
+            match Hashtbl.find_opt registry job.Protocol.id with
+            | Some (JQueued _ | JActive _) ->
+                (* like cancel nacks, the rejection carries an empty id:
+                   emitting a terminal error under the original id would
+                   mark it done and suppress the first job's verdict *)
+                `Reject
+                  (Printf.sprintf "duplicate job id %S still in flight"
+                     job.Protocol.id)
+            | Some JDone | None -> (
+                match t.config.max_queue with
+                | Some k when Queue.length queue >= k ->
+                    Metrics.incr m_shed;
+                    `Shed k
+                | _ ->
+                    let dropped = ref false in
+                    Queue.add { qi_job = job; qi_dropped = dropped } queue;
+                    Hashtbl.replace registry job.Protocol.id (JQueued dropped);
+                    Condition.signal qcond;
+                    `Queued))
+    in
+    match action with
+    | `Queued -> ()
+    | `Shed k ->
+        emit
+          (Protocol.Job_error
+             {
+               id = job.Protocol.id;
+               reason = Printf.sprintf "overloaded: job queue is full (%d)" k;
+             })
+    | `Reject reason -> emit (Protocol.Job_error { id = ""; reason })
+  in
+  let handle_cancel id =
+    let action =
+      with_qlock (fun () ->
+          match Hashtbl.find_opt registry id with
+          | Some (JQueued dropped) when not !dropped ->
+              dropped := true;
+              `Queued
+          | Some (JActive ticket) -> `Active ticket
+          | Some (JQueued _) | Some JDone -> `Finished
+          | None -> `Unknown)
+    in
+    match action with
+    | `Queued ->
+        Metrics.incr m_cancelled;
+        emit (Protocol.Cancelled { id; reason = "cancelled while queued" })
+    | `Active ticket ->
+        if cancel_ticket t ticket ~reason:"cancelled by client" then
+          emit (Protocol.Cancelled { id; reason = "cancelled by client" })
+        else
+          emit
+            (Protocol.Job_error
+               {
+                 id = "";
+                 reason = Printf.sprintf "cancel %S: job already finished" id;
+               })
+    | `Finished ->
+        emit
+          (Protocol.Job_error
+             {
+               id = "";
+               reason = Printf.sprintf "cancel %S: job already finished" id;
+             })
+    | `Unknown ->
+        emit
+          (Protocol.Job_error
+             { id = ""; reason = Printf.sprintf "cancel %S: unknown job id" id })
   in
   let stop_accepting () =
-    Mutex.lock qlock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock qlock)
-      (fun () ->
+    with_qlock (fun () ->
         accepting := false;
         Condition.broadcast qcond)
   in
   (* [None] only once the queue is drained AND no more jobs can arrive:
      queued work survives a shutdown request (graceful drain). *)
   let dequeue () =
-    Mutex.lock qlock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock qlock)
-      (fun () ->
+    with_qlock (fun () ->
         let rec wait () =
           if not (Queue.is_empty queue) then Some (Queue.pop queue)
           else if not !accepting then None
@@ -225,11 +590,49 @@ let run t ic oc =
         in
         wait ())
   in
+  let run_item item =
+    if !(item.qi_dropped) then ()
+      (* cancelled while queued; its [cancelled] ack is already out *)
+    else
+      submit t ~emit item.qi_job ~on_start:(fun ticket ->
+          (* the job is now a flight party; record the ticket so a
+             [cancel] request can reach the run.  A cancel that raced
+             the dispatch (dropped set between dequeue and here) is
+             honoured by tripping the fresh ticket immediately. *)
+          let dropped =
+            with_qlock (fun () ->
+                if !(item.qi_dropped) then true
+                else begin
+                  (match Hashtbl.find_opt registry item.qi_job.Protocol.id with
+                  | Some (JQueued d) when d == item.qi_dropped ->
+                      Hashtbl.replace registry item.qi_job.Protocol.id
+                        (JActive ticket)
+                  | _ -> ());
+                  false
+                end)
+          in
+          if dropped then
+            ignore (cancel_ticket t ticket ~reason:"cancelled while queued"))
+  in
   let rec dispatch () =
     match dequeue () with
     | None -> ()
-    | Some job ->
-        submit t ~emit job;
+    | Some item ->
+        (try run_item item
+         with e ->
+           (* only genuinely fatal exceptions reach here — the firewall
+              absorbs the rest inside [submit].  Give the job a terminal
+              event before the domain dies so its client is not left
+              hanging, then re-raise. *)
+           (try
+              emit
+                (Protocol.Job_error
+                   {
+                     id = item.qi_job.Protocol.id;
+                     reason = "dispatcher crashed: " ^ Printexc.to_string e;
+                   })
+            with _ -> ());
+           raise e);
         dispatch ()
   in
   let dispatchers =
@@ -238,14 +641,23 @@ let run t ic oc =
   let outcome = ref `Eof in
   let continue = ref true in
   while !continue do
-    match input_line ic with
+    match read_line_bounded ic t.config.max_line_bytes with
     | exception End_of_file -> continue := false
     (* a reset connection raises [Sys_error], not [End_of_file]; treat
        it the same so the drain/join/bye path still runs and no
        dispatcher domain is leaked *)
     | exception Sys_error _ -> continue := false
-    | line when String.trim line = "" -> ()
-    | line -> (
+    | `Too_long ->
+        emit
+          (Protocol.Job_error
+             {
+               id = "";
+               reason =
+                 Printf.sprintf "request line exceeds %d bytes"
+                   t.config.max_line_bytes;
+             })
+    | `Line line when String.trim line = "" -> ()
+    | `Line line -> (
         match J.of_string line with
         | exception J.Parse_error msg ->
             emit
@@ -260,14 +672,45 @@ let run t ic oc =
                 in
                 emit (Protocol.Job_error { id; reason })
             | Ok (Protocol.Job job) -> enqueue job
+            | Ok (Protocol.Cancel id) -> handle_cancel id
             | Ok Protocol.Stats -> emit (Protocol.Stats_report (stats_json t))
             | Ok Protocol.Shutdown ->
                 outcome := `Shutdown;
                 continue := false))
   done;
   stop_accepting ();
-  Array.iter Domain.join dispatchers;
+  Array.iter
+    (fun d ->
+      (* a fatal dispatcher crash is re-raised by [join]; absorbing it
+         here keeps the drain going so the session still ends with a
+         clean [bye] and no leaked domains *)
+      try Domain.join d with _ -> ())
+    dispatchers;
+  (* recovery drain: if dispatchers died with items still queued, run
+     them here so every accepted job reaches a terminal event *)
+  (try dispatch () with _ -> ());
+  (* followers coalesced onto another session's flight have no local
+     dispatcher to wait on: poll the registry until every accepted job
+     is terminal.  Sleep-polling mirrors the leaf scheduler's choice —
+     immune to lost wakeups from dying emitters. *)
+  let pending () =
+    with_qlock (fun () ->
+        Hashtbl.fold
+          (fun _ st acc ->
+            acc || match st with JDone -> false | JQueued _ | JActive _ -> true)
+          registry false)
+  in
+  while pending () do
+    Unix.sleepf 0.002
+  done;
   emit Protocol.Bye;
   !outcome
 
-let close t = Memo.close t.memo
+let close t =
+  Atomic.set t.stopping true;
+  (match t.watchdog with
+  | Some d ->
+      Domain.join d;
+      t.watchdog <- None
+  | None -> ());
+  Memo.close t.memo

@@ -23,6 +23,7 @@ module Symset = Nncs.Symset
 module Partition = Nncs.Partition
 module F = Nncs_resilience.Failure
 module Budget = Nncs_resilience.Budget
+module Cancel = Nncs_resilience.Cancel
 module Fault = Nncs_resilience.Fault
 module Firewall = Nncs_resilience.Firewall
 module Journal = Nncs_resilience.Journal
@@ -138,6 +139,9 @@ let test_firewall () =
     (match Firewall.protect ~classify (fun () -> failwith "boom") with
     | Error (F.Worker_crashed _) -> true
     | _ -> false);
+  check "tripped token becomes Cancelled" true
+    (Firewall.protect ~classify (fun () -> raise (Cancel.Cancelled "client"))
+    = Error (F.Cancelled "client"));
   check "fatal re-raised" true
     (try
        ignore (Firewall.protect ~classify (fun () -> raise Out_of_memory));
@@ -187,6 +191,97 @@ let test_budget_stops_refinement () =
   in
   Alcotest.(check int) "single leaf despite depth budget" 1
     (List.length r.Verify.leaves)
+
+(* ----- cooperative cancellation ----- *)
+
+let test_cancel_token () =
+  let c = Cancel.create () in
+  check "fresh token untripped" false (Cancel.cancelled c);
+  check "check passes untripped" true (Cancel.check c = ());
+  Cancel.cancel c ~reason:"first";
+  check "tripped" true (Cancel.cancelled c);
+  Alcotest.(check (option string)) "reason kept" (Some "first") (Cancel.reason c);
+  (* sticky and idempotent: the first reason wins *)
+  Cancel.cancel c ~reason:"second";
+  Alcotest.(check (option string))
+    "first reason wins" (Some "first") (Cancel.reason c);
+  check "check raises tripped" true
+    (try
+       Cancel.check c;
+       false
+     with Cancel.Cancelled r -> r = "first");
+  check "never stays untripped" false (Cancel.cancelled Cancel.never)
+
+let test_cancel_gates_budget () =
+  let cancel = Cancel.create () in
+  let b = Budget.start ~cancel Budget.unlimited in
+  check "untripped: deadline gate passes" true (Budget.check_deadline b = ());
+  Budget.add_ode_steps b 3;
+  check "untripped: not expired" false (Budget.expired b);
+  Cancel.cancel cancel ~reason:"test";
+  (* both hot-loop gates must observe the trip, and the non-raising
+     probe must fast-track the work item *)
+  check "deadline gate raises Cancelled" true
+    (try
+       Budget.check_deadline b;
+       false
+     with Cancel.Cancelled _ -> true);
+  check "ode gate raises Cancelled" true
+    (try
+       Budget.add_ode_steps b 1;
+       false
+     with Cancel.Cancelled _ -> true);
+  check "expired covers cancellation" true (Budget.expired b);
+  check "token reachable from budget" true (Budget.cancel_token b == cancel)
+
+let test_cancel_pre_tripped_cell () =
+  (* a token tripped before the run: the cell degrades to a single
+     Cancelled leaf at its first budget gate — no refinement, no ladder
+     retries (retrying a cancelled cell cannot help) *)
+  let sys = homing_system () in
+  let cancel = Cancel.create () in
+  Cancel.cancel cancel ~reason:"before start";
+  let r =
+    Verify.verify_cell ~cancel ~config:(config ~max_depth:2 ()) sys (one_cell ())
+  in
+  let l = sole_leaf r in
+  check "leaf failed as cancelled" true
+    (failed_with l (F.Cancelled "before start"));
+  Alcotest.(check (list string))
+    "ladder short-circuited" [ "base" ] l.Verify.rungs;
+  check "nothing proved" true (r.Verify.proved_fraction = 0.0)
+
+let test_cancel_observed_within_one_cell () =
+  (* cancel mid-partition from the progress callback: after the first
+     cell completes, every remaining cell must come back as a single
+     Cancelled leaf (observed at its first budget gate) rather than
+     being analysed or split *)
+  let sys = homing_system () in
+  let cancel = Cancel.create () in
+  let report =
+    Verify.verify_partition ~cancel
+      ~config:(config ~max_depth:2 ())
+      ~progress:(fun cells_done _total ->
+        if cells_done = 1 then Cancel.cancel cancel ~reason:"mid-run")
+      sys (grid 6)
+  in
+  Alcotest.(check int) "all cells accounted" 6 report.Verify.total_cells;
+  Alcotest.(check int) "first cell proved before the trip" 1
+    report.Verify.proved_cells;
+  Alcotest.(check int) "the rest cancelled" 5 report.Verify.unknown_cells;
+  List.iteri
+    (fun i (c : Verify.cell_report) ->
+      if i > 0 then begin
+        Alcotest.(check int)
+          (Printf.sprintf "cell %d: one leaf, not split" i)
+          1
+          (List.length c.Verify.leaves);
+        check
+          (Printf.sprintf "cell %d: cancelled" i)
+          true
+          (failed_with (sole_leaf c) (F.Cancelled "mid-run"))
+      end)
+    report.Verify.cells
 
 (* ----- the degradation ladder ----- *)
 
@@ -307,6 +402,7 @@ let test_failure_json_roundtrip () =
       F.Budget_exceeded F.Deadline;
       F.Budget_exceeded F.Ode_steps;
       F.Budget_exceeded F.Symbolic_states;
+      F.Cancelled "client request";
       F.Numeric "NaN bound";
       F.Worker_crashed "Stack_overflow";
     ]
@@ -459,6 +555,15 @@ let () =
           Alcotest.test_case "symbolic states" `Quick test_budget_symstates;
           Alcotest.test_case "stops refinement" `Quick
             test_budget_stops_refinement;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "token semantics" `Quick test_cancel_token;
+          Alcotest.test_case "gates budget" `Quick test_cancel_gates_budget;
+          Alcotest.test_case "pre-tripped cell" `Quick
+            test_cancel_pre_tripped_cell;
+          Alcotest.test_case "observed within one cell" `Quick
+            test_cancel_observed_within_one_cell;
         ] );
       ( "ladder",
         [

@@ -27,7 +27,14 @@ module P = Nncs_serve.Protocol
 module Memo = Nncs_serve.Memo
 module Server = Nncs_serve.Server
 
+module Metrics = Nncs_obs.Metrics
+
 let check = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
 
 (* ----- protocol codecs ----- *)
 
@@ -213,12 +220,15 @@ let homing_cells arcs =
   Partition.with_command 0
     (Partition.grid (B.of_bounds [| (1.0, 2.0) |]) ~cells:[| arcs |])
 
-let make_server ?memo_path () =
+let make_server ?memo_path ?memo_capacity ?job_deadline_s () =
   Server.create
     {
+      Server.default_config with
       Server.dispatchers = 1;
       cache = Some { Cache.capacity = 1024; quantum = 0.0; shards = 4 };
       memo_path;
+      memo_capacity;
+      job_deadline_s;
     }
     ~make_system:(fun ~domain:_ ~nn_splits:_ -> homing_system ())
     ~make_cells:(fun ~arcs ~headings:_ ~arc_indices ->
@@ -402,6 +412,194 @@ let test_empty_partition_rejected () =
   | [ P.Job_error { id = "empty"; _ } ] -> ()
   | _ -> Alcotest.fail "empty cell list must yield an error event"
 
+(* ----- cooperative cancellation and single-flight coalescing ----- *)
+
+(* cancel a running job from its first progress event: the acknowledged
+   party receives no further events from the flight, the truncated
+   report never reaches the memo, and an identical retry re-runs *)
+let test_cancel_running_job () =
+  let server = make_server () in
+  let events = ref [] in
+  let ticket = ref None in
+  let acked = ref false in
+  let emit e =
+    events := e :: !events;
+    match e with
+    | P.Progress _ when not !acked -> (
+        match !ticket with
+        | Some tk -> acked := Server.cancel_ticket server tk ~reason:"client"
+        | None -> Alcotest.fail "progress before on_start")
+    | _ -> ()
+  in
+  Server.submit server ~emit
+    ~on_start:(fun tk -> ticket := Some tk)
+    (homing_job ~id:"doomed" ());
+  let events = List.rev !events in
+  check "mid-run cancel acknowledged" true !acked;
+  (match !ticket with
+  | Some tk ->
+      check "second cancel of the same party nacked" false
+        (Server.cancel_ticket server tk ~reason:"again")
+  | None -> Alcotest.fail "on_start never fired");
+  check "acknowledged party gets no terminal event" true
+    (not
+       (List.exists
+          (function
+            | P.Verdict _ | P.Cancelled _ | P.Job_error _ -> true | _ -> false)
+          events));
+  let fp =
+    match List.hd events with
+    | P.Accepted { fingerprint; _ } -> fingerprint
+    | _ -> Alcotest.fail "first event must be accepted"
+  in
+  check "cancellation-truncated report not memoized" true
+    (Server.lookup server fp = None);
+  let v = find_verdict (collect server (homing_job ~id:"retry" ())) in
+  check "identical job re-runs after a cancelled attempt" true (v.vsrc = P.Run);
+  let direct =
+    Verify.verify_partition ~config:P.default_config (homing_system ())
+      (homing_cells 8)
+  in
+  Alcotest.(check (float 0.0))
+    "and answers the full verdict" direct.Verify.coverage v.vcov
+
+let wait_until ?(timeout_s = 10.0) pred label =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout_s then
+      Alcotest.fail ("timed out waiting for " ^ label)
+    else begin
+      Unix.sleepf 0.001;
+      go ()
+    end
+  in
+  go ()
+
+let stat_int server field =
+  match J.member field (Server.stats_json server) with
+  | Some n -> J.to_int n
+  | None -> Alcotest.fail ("stats_json lacks " ^ field)
+
+(* park a leader inside its first progress event until [gate] flips, so
+   concurrent identical jobs deterministically find its flight in the
+   in-flight index instead of racing it or hitting the memo *)
+let spawn_gated_leader server ~id ~record ~gate ~started =
+  Domain.spawn (fun () ->
+      Server.submit server
+        ~emit:(fun e ->
+          record id e;
+          match e with
+          | P.Progress _ ->
+              while not (Atomic.get gate) do
+                Unix.sleepf 0.001
+              done
+          | _ -> ())
+        ~on_start:(fun _ -> Atomic.set started true)
+        (homing_job ~id ()))
+
+let test_coalesced_followers () =
+  let server = make_server () in
+  let coalesced0 = stat_int server "coalesced_jobs" in
+  let gate = Atomic.make false and started = Atomic.make false in
+  let lock = Mutex.create () in
+  let tagged = ref [] in
+  let record tag e =
+    Mutex.lock lock;
+    tagged := (tag, e) :: !tagged;
+    Mutex.unlock lock
+  in
+  let leader = spawn_gated_leader server ~id:"lead" ~record ~gate ~started in
+  wait_until (fun () -> Atomic.get started) "leader flight registration";
+  (* identical jobs while the leader is parked: both join as followers,
+     and their submit returns without running any reachability *)
+  let follower tag =
+    Domain.spawn (fun () ->
+        Server.submit server ~emit:(record tag) (homing_job ~id:tag ()))
+  in
+  let fb = follower "fb" and fc = follower "fc" in
+  Domain.join fb;
+  Domain.join fc;
+  Alcotest.(check int)
+    "both jobs coalesced" 2
+    (stat_int server "coalesced_jobs" - coalesced0);
+  Atomic.set gate true;
+  Domain.join leader;
+  let events = List.rev !tagged in
+  let verdict_of tag =
+    match
+      List.filter_map
+        (fun (t, e) -> if t = tag then verdict_payload e else None)
+        events
+    with
+    | [ v ] -> v
+    | _ -> Alcotest.fail ("expected exactly one verdict for " ^ tag)
+  in
+  let vl = verdict_of "lead" in
+  let vb = verdict_of "fb" and vc = verdict_of "fc" in
+  check "leader ran the pipeline" true (vl.vsrc = P.Run);
+  check "followers coalesced" true
+    (vb.vsrc = P.Coalesced && vc.vsrc = P.Coalesced);
+  Alcotest.(check string) "one flight, one fingerprint" vl.vfp vb.vfp;
+  Alcotest.(check string) "one flight, one fingerprint (2)" vl.vfp vc.vfp;
+  check "all parties share the shared run's verdict" true
+    (vl.vcov = vb.vcov && vl.vcov = vc.vcov && vl.vproved = vb.vproved);
+  check "the shared report reached the memo" true
+    (Option.is_some (Server.lookup server vl.vfp))
+
+let test_follower_cancel_spares_run () =
+  let server = make_server () in
+  let gate = Atomic.make false and started = Atomic.make false in
+  let lock = Mutex.create () in
+  let tagged = ref [] in
+  let record tag e =
+    Mutex.lock lock;
+    tagged := (tag, e) :: !tagged;
+    Mutex.unlock lock
+  in
+  let leader = spawn_gated_leader server ~id:"lead2" ~record ~gate ~started in
+  wait_until (fun () -> Atomic.get started) "leader flight registration";
+  let fticket = ref None in
+  let fb =
+    Domain.spawn (fun () ->
+        Server.submit server ~emit:(record "quitter")
+          ~on_start:(fun tk -> fticket := Some tk)
+          (homing_job ~id:"quitter" ()))
+  in
+  let fc =
+    Domain.spawn (fun () ->
+        Server.submit server ~emit:(record "stayer") (homing_job ~id:"stayer" ()))
+  in
+  Domain.join fb;
+  Domain.join fc;
+  (match !fticket with
+  | None -> Alcotest.fail "follower never got a ticket"
+  | Some tk ->
+      check "follower cancel acknowledged" true
+        (Server.cancel_ticket server tk ~reason:"one client left"));
+  Atomic.set gate true;
+  Domain.join leader;
+  let events = List.rev !tagged in
+  let verdicts tag =
+    List.filter_map
+      (fun (t, e) -> if t = tag then verdict_payload e else None)
+      events
+  in
+  (match verdicts "lead2" with
+  | [ v ] -> check "shared run completed as a full run" true (v.vsrc = P.Run)
+  | _ -> Alcotest.fail "leader must get exactly one verdict");
+  (match verdicts "stayer" with
+  | [ v ] ->
+      check "remaining follower still coalesced" true (v.vsrc = P.Coalesced);
+      check "uncancelled run reached the memo" true
+        (Option.is_some (Server.lookup server v.vfp))
+  | _ -> Alcotest.fail "remaining follower must get exactly one verdict");
+  check "cancelled follower got nothing past accepted" true
+    (List.for_all
+       (fun (t, e) ->
+         t <> "quitter" || match e with P.Accepted _ -> true | _ -> false)
+       events)
+
 (* ----- memo journal: persistence across restart, torn tail ----- *)
 
 let test_memo_journal_torn_tail () =
@@ -445,9 +643,90 @@ let test_memo_journal_torn_tail () =
                 (leaf_verdicts r = leaf_verdicts report
                 && r.Verify.coverage = report.Verify.coverage)))
 
+(* ----- bounded memo: LRU eviction, compaction, duplicate stores ----- *)
+
+let count_lines path =
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !n
+
+let small_report () =
+  Verify.verify_partition ~config:P.default_config (homing_system ())
+    (homing_cells 2)
+
+let test_memo_lru_eviction () =
+  let report = small_report () in
+  let memo = Memo.create ~capacity:2 () in
+  Memo.store memo "fp1" report;
+  Memo.store memo "fp2" report;
+  (* a find promotes: fp2 becomes the eviction victim, not fp1 *)
+  ignore (Memo.find memo "fp1");
+  Memo.store memo "fp3" report;
+  Alcotest.(check int) "size bounded by capacity" 2 (Memo.size memo);
+  Alcotest.(check int) "eviction counted" 1 (Memo.eviction_count memo);
+  check "LRU entry evicted" true (Memo.peek memo "fp2" = None);
+  check "recently used entry kept" true (Option.is_some (Memo.peek memo "fp1"));
+  check "new entry kept" true (Option.is_some (Memo.peek memo "fp3"));
+  Memo.close memo
+
+let compactions () = Metrics.value (Metrics.counter "serve.memo_compactions")
+
+let test_memo_journal_compaction () =
+  let path = Filename.temp_file "nncs_memo" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let report = small_report () in
+      let c0 = compactions () in
+      let memo = Memo.create ~path ~capacity:1 () in
+      List.iter
+        (fun i -> Memo.store memo (Printf.sprintf "fp%d" i) report)
+        [ 1; 2; 3; 4; 5; 6 ];
+      (* five evictions against one live entry: the dead lines must
+         cross the compaction threshold while the memo is still open *)
+      check "eviction churn triggers live compaction" true
+        (compactions () - c0 >= 1);
+      Memo.close memo;
+      Alcotest.(check int)
+        "journal rewritten to exactly the live entries" 1 (count_lines path);
+      let reloaded = Memo.create ~path ~capacity:1 () in
+      Fun.protect
+        ~finally:(fun () -> Memo.close reloaded)
+        (fun () ->
+          Alcotest.(check int) "live entry replayed" 1 (Memo.size reloaded);
+          check "newest entry survived" true
+            (Option.is_some (Memo.peek reloaded "fp6"))))
+
+let test_memo_duplicate_store_skipped () =
+  let path = Filename.temp_file "nncs_memo" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let report = small_report () in
+      let c0 = compactions () in
+      let memo = Memo.create ~path () in
+      Memo.store memo "dup" report;
+      Memo.store memo "dup" report;
+      Memo.store memo "dup" report;
+      Memo.close memo;
+      (* a compaction would mask re-appended duplicates; assert both
+         that none ran and that the file holds a single record *)
+      check "dead-line-free journal never compacted" true (compactions () = c0);
+      Alcotest.(check int)
+        "duplicate stores not re-journaled" 1 (count_lines path))
+
 (* ----- the JSONL session loop ----- *)
 
-let run_session ?(dispatchers = 2) lines =
+let run_session ?(dispatchers = 2) ?max_queue ?max_line_bytes lines =
   let in_path = Filename.temp_file "nncs_serve_in" ".jsonl" in
   let out_path = Filename.temp_file "nncs_serve_out" ".jsonl" in
   Fun.protect
@@ -461,7 +740,14 @@ let run_session ?(dispatchers = 2) lines =
       close_out oc;
       let server =
         Server.create
-          { Server.default_config with Server.dispatchers }
+          {
+            Server.default_config with
+            Server.dispatchers;
+            max_queue;
+            max_line_bytes =
+              Option.value max_line_bytes
+                ~default:Server.default_config.Server.max_line_bytes;
+          }
           ~make_system:(fun ~domain:_ ~nn_splits:_ -> homing_system ())
           ~make_cells:(fun ~arcs ~headings:_ ~arc_indices:_ ->
             homing_cells arcs)
@@ -597,6 +883,152 @@ let test_reader_error_ends_session () =
       check "dispatchers joined and bye emitted" true
         (List.exists (function P.Bye -> true | _ -> false) !events))
 
+(* cancel requests against every id class in one session.  Whether the
+   cancel line catches c1 queued, running, or already finished is a
+   scheduling race — all three are legal — so the assertions are the
+   race-free invariants: exactly one terminal event for the id, and
+   empty-id nacks for the repeat and for the unknown id *)
+let test_session_cancel_paths () =
+  let outcome, events =
+    run_session ~dispatchers:1
+      [
+        {|{"t":"job","id":"c1","partition":{"arcs":4,"headings":1}}|};
+        {|{"t":"cancel","id":"c1"}|};
+        {|{"t":"cancel","id":"c1"}|};
+        {|{"t":"cancel","id":"ghost"}|};
+        {|{"t":"shutdown"}|};
+      ]
+  in
+  check "shutdown honoured" true (outcome = `Shutdown);
+  let terminals =
+    List.filter
+      (function
+        | P.Verdict { id = "c1"; _ }
+        | P.Cancelled { id = "c1"; _ }
+        | P.Job_error { id = "c1"; _ } ->
+            true
+        | _ -> false)
+      events
+  in
+  Alcotest.(check int)
+    "exactly one terminal event for the cancelled id" 1 (List.length terminals);
+  let nack needle =
+    List.exists
+      (function
+        | P.Job_error { id = ""; reason } -> contains reason needle
+        | _ -> false)
+      events
+  in
+  check "repeat cancel nacked as already finished" true
+    (nack {|cancel "c1": job already finished|});
+  check "unknown id nacked" true (nack {|cancel "ghost": unknown job id|});
+  match List.rev events with
+  | P.Bye :: _ -> ()
+  | _ -> Alcotest.fail "bye must be the last event"
+
+(* a duplicate id while the first job is still in flight: rejected with
+   an empty-id error so the original keeps its own terminal event *)
+let test_session_duplicate_id_rejected () =
+  Fun.protect ~finally:Fault.reset (fun () ->
+      (* park the only dispatcher inside the first job so the duplicate
+         line is deterministically read while the id is in flight *)
+      Fault.arm ~site:"serve.job" ~key:"dup" (fun () ->
+          Unix.sleepf 0.2;
+          Failure "injected crash");
+      let outcome, events =
+        run_session ~dispatchers:1
+          [
+            {|{"t":"job","id":"dup","partition":{"arcs":2,"headings":1}}|};
+            {|{"t":"job","id":"dup","partition":{"arcs":2,"headings":1}}|};
+            {|{"t":"shutdown"}|};
+          ]
+      in
+      check "session shuts down" true (outcome = `Shutdown);
+      let dup_errors =
+        List.filter_map
+          (function
+            | P.Job_error { id = "dup"; reason } -> Some reason | _ -> None)
+          events
+      in
+      Alcotest.(check int)
+        "the original job keeps its single terminal event" 1
+        (List.length dup_errors);
+      check "duplicate rejected with an empty id" true
+        (List.exists
+           (function
+             | P.Job_error { id = ""; reason } ->
+                 contains reason {|duplicate job id "dup"|}
+             | _ -> false)
+           events))
+
+(* admission control: one dispatcher parked in a slow job, a queue of
+   one.  Scheduling decides which of the trailing jobs grabs the queue
+   slot, so assert the shed/served split rather than specific ids *)
+let test_session_overload_shed () =
+  Fun.protect ~finally:Fault.reset (fun () ->
+      Fault.arm ~site:"serve.job" ~key:"slow" (fun () ->
+          Unix.sleepf 0.3;
+          Failure "injected slow crash");
+      let outcome, events =
+        run_session ~dispatchers:1 ~max_queue:1
+          [
+            {|{"t":"job","id":"slow","partition":{"arcs":2,"headings":1}}|};
+            {|{"t":"job","id":"q2","partition":{"arcs":2,"headings":1}}|};
+            {|{"t":"job","id":"q3","partition":{"arcs":2,"headings":1}}|};
+            {|{"t":"job","id":"q4","partition":{"arcs":2,"headings":1}}|};
+            {|{"t":"shutdown"}|};
+          ]
+      in
+      check "overloaded session still shuts down" true (outcome = `Shutdown);
+      (match
+         List.filter_map
+           (function
+             | P.Job_error { id = "slow"; reason } -> Some reason | _ -> None)
+           events
+       with
+      | [ _ ] -> ()
+      | _ -> Alcotest.fail "poisoned job must error exactly once");
+      let shed =
+        List.filter
+          (function
+            | P.Job_error { id; reason } ->
+                List.mem id [ "q2"; "q3"; "q4" ] && contains reason "overloaded"
+            | _ -> false)
+          events
+      in
+      let served =
+        List.filter
+          (fun v -> List.mem v.vid [ "q2"; "q3"; "q4" ])
+          (List.filter_map verdict_payload events)
+      in
+      check "at least two jobs shed" true (List.length shed >= 2);
+      Alcotest.(check int)
+        "every trailing job either shed or served" 3
+        (List.length shed + List.length served))
+
+let test_session_line_cap () =
+  let outcome, events =
+    run_session ~dispatchers:1 ~max_line_bytes:64
+      [
+        String.make 200 'x';
+        {|{"t":"job","id":"lc","partition":{"arcs":2,"headings":1}}|};
+        {|{"t":"shutdown"}|};
+      ]
+  in
+  check "oversized line survived" true (outcome = `Shutdown);
+  check "oversized line reported" true
+    (List.exists
+       (function
+         | P.Job_error { id = ""; reason } ->
+             contains reason "exceeds 64 bytes"
+         | _ -> false)
+       events);
+  match
+    List.filter (fun v -> v.vid = "lc") (List.filter_map verdict_payload events)
+  with
+  | [ _ ] -> ()
+  | _ -> Alcotest.fail "the job after the oversized line must still run"
+
 let () =
   Alcotest.run "serve"
     [
@@ -620,10 +1052,24 @@ let () =
           Alcotest.test_case "empty partition rejected" `Quick
             test_empty_partition_rejected;
         ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "running job cancelled" `Quick
+            test_cancel_running_job;
+          Alcotest.test_case "identical jobs coalesce" `Quick
+            test_coalesced_followers;
+          Alcotest.test_case "follower cancel spares the run" `Quick
+            test_follower_cancel_spares_run;
+        ] );
       ( "memo",
         [
           Alcotest.test_case "journal survives a torn tail" `Quick
             test_memo_journal_torn_tail;
+          Alcotest.test_case "lru eviction" `Quick test_memo_lru_eviction;
+          Alcotest.test_case "journal compaction" `Quick
+            test_memo_journal_compaction;
+          Alcotest.test_case "duplicate store skipped" `Quick
+            test_memo_duplicate_store_skipped;
         ] );
       ( "session",
         [
@@ -632,5 +1078,11 @@ let () =
             test_broken_client_output;
           Alcotest.test_case "reader error ends session" `Quick
             test_reader_error_ends_session;
+          Alcotest.test_case "cancel id classes" `Quick
+            test_session_cancel_paths;
+          Alcotest.test_case "duplicate id rejected" `Quick
+            test_session_duplicate_id_rejected;
+          Alcotest.test_case "overload shed" `Quick test_session_overload_shed;
+          Alcotest.test_case "line cap" `Quick test_session_line_cap;
         ] );
     ]
