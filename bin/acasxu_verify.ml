@@ -17,9 +17,9 @@ module Budget = Nncs_resilience.Budget
 module Journal = Nncs_resilience.Journal
 
 let run dir arcs headings arc_sel gamma msteps order domain nn_splits
-    max_depth workers scheduler abs_cache abs_cache_quantum abs_cache_shards
-    cell_deadline cell_ode_budget cell_state_budget journal_path resume tiny
-    csv trace quiet =
+    max_depth workers scheduler batch_leaves abs_cache abs_cache_quantum
+    abs_cache_shards cell_deadline cell_ode_budget cell_state_budget
+    journal_path resume tiny csv trace quiet =
   let _, networks =
     if tiny then
       T.load_or_train ~spec:T.tiny_spec ~policy_config:T.tiny_policy_config
@@ -61,6 +61,7 @@ let run dir arcs headings arc_sel gamma msteps order domain nn_splits
         };
       degrade = true;
       scheduler;
+      batch_leaves;
     }
   in
   let states = List.map snd cells in
@@ -249,6 +250,17 @@ let scheduler =
            of a hard cell fan out across all workers; enables mid-cell \
            --resume).  Verdicts and coverage are identical either way.")
 
+let batch_leaves =
+  Arg.(
+    value & opt int 1
+    & info [ "batch-leaves" ]
+        ~doc:
+          "With --scheduler=leaves: number of compatible frontier leaves a \
+           worker drains per pull and runs in lockstep, sharing batched F# \
+           kernel calls.  Verdicts, leaf sets and journal records are \
+           byte-identical at every value; 1 (the default) is the scalar \
+           path.")
+
 let abs_cache =
   Arg.(
     value & opt int 0
@@ -334,8 +346,9 @@ let cmd =
     (Cmd.info "acasxu_verify" ~doc:"Verify the ACAS Xu closed loop by reachability")
     Term.(
       const run $ dir $ arcs $ headings $ arc_sel $ gamma $ msteps $ order
-      $ domain $ nn_splits $ max_depth $ workers $ scheduler $ abs_cache
-      $ abs_cache_quantum $ abs_cache_shards $ cell_deadline $ cell_ode_budget
-      $ cell_state_budget $ journal $ resume $ tiny $ csv $ trace $ quiet)
+      $ domain $ nn_splits $ max_depth $ workers $ scheduler $ batch_leaves
+      $ abs_cache $ abs_cache_quantum $ abs_cache_shards $ cell_deadline
+      $ cell_ode_budget $ cell_state_budget $ journal $ resume $ tiny $ csv
+      $ trace $ quiet)
 
 let () = exit (Cmd.eval' cmd)

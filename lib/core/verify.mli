@@ -47,11 +47,20 @@ type config = {
       (** walk the degradation ladder before returning Unknown (on by
           default; off = a single attempt per leaf) *)
   scheduler : scheduler;
+  batch_leaves : int;
+      (** under [Leaves], the number of compatible frontier tasks a
+          worker drains per pull and runs as lockstep fibers sharing
+          batched F# kernel calls (see DESIGN.md "Batched F#"); 1 (the
+          default) is the scalar path.  Verdicts, leaf sets and journal
+          records are byte-identical at every value; like [workers] and
+          [scheduler] it does not enter the problem {!fingerprint}.
+          Ignored by the [Cells] scheduler. *)
 }
 
 val default_config : config
 (** Paper setup: reach defaults, [All_dims [0;1;2]], depth 2, serial,
-    unlimited budget, degradation on, [Cells] scheduler. *)
+    unlimited budget, degradation on, [Cells] scheduler, no leaf
+    batching. *)
 
 type leaf_result =
   | Completed of Reach.outcome  (** the reach analysis ran to a verdict *)

@@ -77,26 +77,60 @@ let swap s =
   s.nxt_up <- u
 
 (* Concrete bounds of row [i] of a plane over the input box, outward
-   rounded. *)
+   rounded.
+
+   A non-finite plane coefficient poisons the whole row: the sign tests
+   below are both false for NaN (silently dropping the term — an
+   unsoundly *finite* bound), and an infinite coefficient of the wrong
+   sign could even drive the accumulator to the unsound side.  Bail out
+   to the conservative infinity instead; the same guard maps a NaN
+   accumulator (e.g. a NaN constant or error term) to infinity. *)
 let eval_upper_row box p i m =
   let off = i * m in
   let acc = ref (R.add_up p.k.(i) p.e.(i)) in
-  for kk = 0 to m - 1 do
-    let c = p.c.(off + kk) in
-    if c > 0.0 then acc := R.add_up !acc (R.mul_up c (I.hi (B.get box kk)))
-    else if c < 0.0 then acc := R.add_up !acc (R.mul_up c (I.lo (B.get box kk)))
-  done;
-  !acc
+  (try
+     for kk = 0 to m - 1 do
+       let c = p.c.(off + kk) in
+       if not (Float.is_finite c) then begin
+         acc := Float.infinity;
+         raise Exit
+       end;
+       if c > 0.0 then acc := R.add_up !acc (R.mul_up c (I.hi (B.get box kk)))
+       else if c < 0.0 then
+         acc := R.add_up !acc (R.mul_up c (I.lo (B.get box kk)))
+     done
+   with Exit -> ());
+  if Float.is_nan !acc then Float.infinity else !acc
 
 let eval_lower_row box p i m =
   let off = i * m in
   let acc = ref (R.sub_down p.k.(i) p.e.(i)) in
-  for kk = 0 to m - 1 do
-    let c = p.c.(off + kk) in
-    if c > 0.0 then acc := R.add_down !acc (R.mul_down c (I.lo (B.get box kk)))
-    else if c < 0.0 then acc := R.add_down !acc (R.mul_down c (I.hi (B.get box kk)))
-  done;
-  !acc
+  (try
+     for kk = 0 to m - 1 do
+       let c = p.c.(off + kk) in
+       if not (Float.is_finite c) then begin
+         acc := Float.neg_infinity;
+         raise Exit
+       end;
+       if c > 0.0 then acc := R.add_down !acc (R.mul_down c (I.lo (B.get box kk)))
+       else if c < 0.0 then
+         acc := R.add_down !acc (R.mul_down c (I.hi (B.get box kk)))
+     done
+   with Exit -> ());
+  if Float.is_nan !acc then Float.neg_infinity else !acc
+
+(* The output interval when the two evaluated bounds contradict each
+   other ([lo > hi]): each bound is only sound up to the slack that
+   produced the inversion, so widen the ordered hull by that amount on
+   both sides instead of silently swapping the endpoints (which would
+   claim a tighter interval than either bound supports).  The width
+   [d = lo - hi] must itself be rounded *up*: computed round-to-nearest
+   it can undershoot the true gap, leaving the inflated hull short of
+   covering both original bounds (observable when [hi] is within an ulp
+   of the gap — see the adversarial-magnitude regression test). *)
+let inverted_hull lo hi =
+  let d = R.sub_up lo hi in
+  I.inflate (I.make hi lo) d
 
 let zero_row p i m =
   Array.fill p.c (i * m) m 0.0;
@@ -181,9 +215,14 @@ let scale_row ~xmag p i m lam bias =
   p.e.(i) <- R.add_up err (accumulation_error (m + 2) (!absacc *. xmag))
 
 (* ReLU relaxation of a whole layer in place (ReluVal/Neurify rules);
-   counts straddling neurons into [unstable]. *)
-let relu_rows ~unstable ~xmag box p_lo p_up n m =
-  for i = 0 to n - 1 do
+   counts straddling neurons into [unstable].  [row0] offsets the plane
+   rows: the batched kernel stores leaf [l]'s layer as rows
+   [l*n .. l*n+n-1] of one wide plane and relaxes each leaf block with
+   this same code, so the per-leaf float-op sequence is identical to the
+   scalar path's. *)
+let relu_rows ~unstable ~xmag ?(row0 = 0) box p_lo p_up n m =
+  for i0 = 0 to n - 1 do
+    let i = row0 + i0 in
     let l_lo = eval_lower_row box p_lo i m
     and u_up = eval_upper_row box p_up i m in
     if l_lo >= 0.0 then () (* stable active *)
@@ -283,15 +322,7 @@ let propagate net box =
     (Array.init n (fun i ->
          let lo = eval_lower_row box s.cur_lo i m
          and hi = eval_upper_row box s.cur_up i m in
-         if lo <= hi then I.make lo hi
-         else
-           (* The two bounds contradict each other: each is only sound up
-              to the slack that produced the inversion, so widen the
-              ordered hull by that amount on both sides instead of
-              silently swapping the endpoints (which would claim a
-              tighter interval than either bound supports). *)
-           let d = lo -. hi in
-           I.inflate (I.make hi lo) d))
+         if lo <= hi then I.make lo hi else inverted_hull lo hi))
 
 let output_bounds net box =
   let s, n, m = propagate_planes net box in
@@ -301,3 +332,186 @@ let output_bounds net box =
         s.cur_lo.k.(i),
         Array.sub s.cur_up.c off m,
         s.cur_up.k.(i) ))
+
+(* ----- batched kernel -----
+
+   The batch path pushes [k] input boxes through the network in one pass
+   per layer.  The scratch planes widen from [n x m] panels to k-leaf
+   blocks: leaf [l]'s neuron [i] lives at plane row [l*n + i]
+   (leaves x neurons x m row-major, with per-leaf constant/error lanes
+   at the same row index), so the affine transform becomes a blocked
+   matrix-matrix kernel that streams each weight [wij] once across the
+   whole batch instead of once per leaf.
+
+   Bitwise determinism: for a fixed leaf the float operations execute in
+   exactly the scalar order — the leaf loop only sits *between* the
+   weight loop and the inner accumulation, never inside a single leaf's
+   dependency chain — and each leaf keeps its own accumulators, error
+   lanes, and input magnitude.  [propagate_batch net boxes] is therefore
+   bit-for-bit [Array.map (propagate net) boxes]; batching amortizes
+   weight streaming and loop overhead, not summation order. *)
+
+let batch_scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        cur_lo = make_plane ();
+        cur_up = make_plane ();
+        nxt_lo = make_plane ();
+        nxt_up = make_plane ();
+      })
+
+(* dst = W * src + b for every leaf block at once.  [src] holds [k]
+   blocks of [cols] rows, [dst] receives [k] blocks of [n] rows; the
+   per-leaf accumulator arrays replay the scalar [affine_rows] reference
+   sequence lane by lane.  [nterms] counts structurally nonzero weights
+   of the row and is leaf-independent. *)
+let affine_rows_batch ~k ~xmags w b m src_lo src_up dst_lo dst_up =
+  let n = Mat.rows w and cols = Mat.cols w in
+  ensure dst_lo (k * n) m;
+  ensure dst_up (k * n) m;
+  let up_const = Array.make k 0.0 and lo_const = Array.make k 0.0 in
+  let up_abs = Array.make k 0.0 and lo_abs = Array.make k 0.0 in
+  let up_err = Array.make k 0.0 and lo_err = Array.make k 0.0 in
+  for i = 0 to n - 1 do
+    let bi = b.(i) in
+    for l = 0 to k - 1 do
+      let off = ((l * n) + i) * m in
+      Array.fill dst_lo.c off m 0.0;
+      Array.fill dst_up.c off m 0.0;
+      up_const.(l) <- bi;
+      lo_const.(l) <- bi;
+      up_abs.(l) <- Float.abs bi;
+      lo_abs.(l) <- Float.abs bi;
+      up_err.(l) <- 0.0;
+      lo_err.(l) <- 0.0
+    done;
+    let nterms = ref 0 in
+    for j = 0 to cols - 1 do
+      let wij = Mat.get w i j in
+      if (wij <> 0.0) [@lint.fp_exact "exact zero test: skips structurally-zero terms; NaN falls through conservatively"] then begin
+        incr nterms;
+        let su, sl = if wij > 0.0 then (src_up, src_lo) else (src_lo, src_up) in
+        let awij = Float.abs wij in
+        for l = 0 to k - 1 do
+          let srow = (l * cols) + j in
+          let joff = srow * m in
+          let doff = ((l * n) + i) * m in
+          for kk = 0 to m - 1 do
+            let p = wij *. su.c.(joff + kk) in
+            dst_up.c.(doff + kk) <- dst_up.c.(doff + kk) +. p;
+            up_abs.(l) <- up_abs.(l) +. Float.abs p
+          done;
+          let pc = wij *. su.k.(srow) in
+          up_const.(l) <- up_const.(l) +. pc;
+          up_abs.(l) <- up_abs.(l) +. Float.abs pc;
+          up_err.(l) <- R.add_up up_err.(l) (R.mul_up awij su.e.(srow));
+          for kk = 0 to m - 1 do
+            let p = wij *. sl.c.(joff + kk) in
+            dst_lo.c.(doff + kk) <- dst_lo.c.(doff + kk) +. p;
+            lo_abs.(l) <- lo_abs.(l) +. Float.abs p
+          done;
+          let pc = wij *. sl.k.(srow) in
+          lo_const.(l) <- lo_const.(l) +. pc;
+          lo_abs.(l) <- lo_abs.(l) +. Float.abs pc;
+          lo_err.(l) <- R.add_up lo_err.(l) (R.mul_up awij sl.e.(srow))
+        done
+      end
+    done;
+    for l = 0 to k - 1 do
+      let r = (l * n) + i in
+      dst_up.k.(r) <- up_const.(l);
+      dst_lo.k.(r) <- lo_const.(l);
+      if !nterms = 0 then begin
+        dst_up.e.(r) <- 0.0;
+        dst_lo.e.(r) <- 0.0
+      end
+      else begin
+        let nops = (!nterms * (m + 1)) + 1 in
+        dst_up.e.(r) <-
+          R.add_up up_err.(l) (accumulation_error nops (up_abs.(l) *. xmags.(l)));
+        dst_lo.e.(r) <-
+          R.add_up lo_err.(l) (accumulation_error nops (lo_abs.(l) *. xmags.(l)))
+      end
+    done
+  done
+
+let propagate_batch_planes net boxes =
+  let k = Array.length boxes in
+  let m = Net.input_dim net in
+  Array.iter
+    (fun box ->
+      if B.dim box <> m then
+        invalid_arg "Symbolic_prop.propagate_batch: input dimension mismatch")
+    boxes;
+  let xmags = Array.map input_magnitude boxes in
+  let s = Domain.DLS.get batch_scratch_key in
+  ensure s.cur_lo (k * m) m;
+  ensure s.cur_up (k * m) m;
+  for r = 0 to (k * m) - 1 do
+    let off = r * m in
+    Array.fill s.cur_lo.c off m 0.0;
+    Array.fill s.cur_up.c off m 0.0;
+    let i = r mod m in
+    s.cur_lo.c.(off + i) <- 1.0;
+    s.cur_up.c.(off + i) <- 1.0;
+    s.cur_lo.k.(r) <- 0.0;
+    s.cur_up.k.(r) <- 0.0;
+    s.cur_lo.e.(r) <- 0.0;
+    s.cur_up.e.(r) <- 0.0
+  done;
+  let n = ref m in
+  Array.iteri
+    (fun li l ->
+      Span.with_ "nnabs.layer_batch"
+        ~attrs:
+          [
+            ("layer", Nncs_obs.Trace.Int li);
+            ("neurons", Int (Mat.rows l.Net.weights));
+            ("leaves", Int k);
+          ]
+        (fun () ->
+          let rows = Mat.rows l.Net.weights in
+          affine_rows_batch ~k ~xmags l.Net.weights l.Net.biases m s.cur_lo
+            s.cur_up s.nxt_lo s.nxt_up;
+          (match l.Net.activation with
+          | Nncs_nn.Activation.Linear -> ()
+          | Nncs_nn.Activation.Relu ->
+              let unstable = ref 0 in
+              for lf = 0 to k - 1 do
+                relu_rows ~unstable ~xmag:xmags.(lf) ~row0:(lf * rows)
+                  boxes.(lf) s.nxt_lo s.nxt_up rows m
+              done;
+              Metrics.add m_neurons (rows * k);
+              Metrics.add m_unstable !unstable);
+          swap s;
+          n := rows))
+    net.Net.layers;
+  (s, !n, m)
+
+let propagate_batch net boxes =
+  if Array.length boxes = 0 then [||]
+  else
+    let s, n, m = propagate_batch_planes net boxes in
+    Array.mapi
+      (fun l box ->
+        B.of_intervals
+          (Array.init n (fun i ->
+               let r = (l * n) + i in
+               let lo = eval_lower_row box s.cur_lo r m
+               and hi = eval_upper_row box s.cur_up r m in
+               if lo <= hi then I.make lo hi else inverted_hull lo hi)))
+      boxes
+
+(* Narrow test hooks: the NaN-poisoned-plane regression needs a plane
+   whose *coefficients* are poisoned while the constant and error lanes
+   stay finite — unreachable through [propagate] without contriving a
+   whole network — and the inverted-hull regression needs the raw
+   widening helper. *)
+module Internal = struct
+  let row_bounds box ~c ~k ~e =
+    let m = Array.length c in
+    if B.dim box <> m then
+      invalid_arg "Symbolic_prop.Internal.row_bounds: dimension mismatch";
+    let p = { c = Array.copy c; k = [| k |]; e = [| e |] } in
+    (eval_lower_row box p 0 m, eval_upper_row box p 0 m)
+end

@@ -13,6 +13,28 @@
 val propagate : Nncs_nn.Network.t -> Nncs_interval.Box.t -> Nncs_interval.Box.t
 (** Sound enclosure of [{F(x) | x in box}]. *)
 
+val propagate_batch :
+  Nncs_nn.Network.t -> Nncs_interval.Box.t array -> Nncs_interval.Box.t array
+(** [propagate_batch net boxes] pushes all [k] boxes through the network
+    in one pass per layer: the scratch planes widen to
+    [leaves x neurons x m] blocks with per-leaf constant/error lanes, so
+    the affine transform becomes a blocked matrix–matrix kernel that
+    streams each weight once per batch instead of once per leaf.  Each
+    leaf's float-operation sequence is the scalar one, so the result is
+    bit-for-bit [Array.map (propagate net) boxes] — batching amortizes
+    weight streaming and loop overhead, never summation order.  Raises
+    [Invalid_argument] if any box's dimension differs from the network's
+    input dimension. *)
+
+val inverted_hull : float -> float -> Nncs_interval.Interval.t
+(** The sound enclosure returned when an evaluated lower bound [lo]
+    exceeds the upper bound [hi]: the ordered hull [[hi, lo]] inflated on
+    both sides by an {e upper} bound of the gap [lo - hi] (the slack that
+    produced the inversion).  Exposed for the adversarial-magnitude
+    regression test: the gap must be computed with [Rounding.sub_up] —
+    round-to-nearest can undershoot it and leave the hull not covering
+    both original bounds. *)
+
 val output_bounds :
   Nncs_nn.Network.t ->
   Nncs_interval.Box.t ->
@@ -20,3 +42,19 @@ val output_bounds :
 (** For each output neuron, the final symbolic bounds
     [(lo_coeffs, lo_const, up_coeffs, up_const)] — exposed for
     inspection and tests. *)
+
+(** Narrow hooks for the soundness regression tests; not part of the
+    propagation API. *)
+module Internal : sig
+  val row_bounds :
+    Nncs_interval.Box.t ->
+    c:float array ->
+    k:float ->
+    e:float ->
+    float * float
+  (** [(lower, upper)] concrete bounds of the single symbolic row with
+      coefficients [c], constant [k] and error term [e], evaluated over
+      the box with the kernel's own row evaluators — the only way to
+      exercise a poisoned {e coefficient} plane whose constant/error
+      lanes stay finite. *)
+end

@@ -186,6 +186,7 @@ let config_of_json j =
       | Some (J.Str "leaves") -> Verify.Leaves
       | Some _ -> fail "field \"scheduler\" must be cells | leaves"
       | None -> base.Verify.scheduler);
+    batch_leaves = int_field ~default:base.Verify.batch_leaves "batch_leaves" j;
   }
 
 let job_of_json j =
@@ -273,6 +274,7 @@ let job_to_json (job : job) =
             (match c.Verify.scheduler with
             | Verify.Cells -> "cells"
             | Verify.Leaves -> "leaves") );
+        ("batch_leaves", num_int c.Verify.batch_leaves);
         ("degrade", J.Bool c.Verify.degrade);
         ("memo", J.Bool job.use_memo);
       ]

@@ -172,6 +172,74 @@ let test_thin_box_sound () =
       [ 0.0; 1e-15; 1e-9 ]
   done
 
+let test_inverted_hull_adversarial () =
+  (* regression: the contradictory-bounds widening used round-to-nearest
+     subtraction (d = lo -. hi) to measure the gap.  At adversarial
+     magnitudes the rounding error of that subtraction exceeds the ulp
+     nudges downstream: with lo = 2^54 and hi = 2^53 - 1 the exact gap is
+     2^53 + 1, but lo -. hi rounds DOWN to 2^53 (ties-to-even), so the
+     inflated hull undershoots the interval [hi - gap, lo + gap] it must
+     cover.  The fix computes the gap with Rounding.sub_up. *)
+  let lo = 18014398509481984.0 (* 2^54 *)
+  and hi = 9007199254740991.0 (* 2^53 - 1 *) in
+  let h = Sym.inverted_hull lo hi in
+  (* exact gap d = 2^53 + 1; sound coverage needs lo(h) <= hi - d = -2
+     (the buggy round-to-nearest gap gave lo(h) ~ -1, excluding it) *)
+  check "lower endpoint covers hi - exact_gap" true (I.lo h <= -2.0);
+  check "upper endpoint covers lo + exact_gap" true
+    (I.hi h >= 27021597764222977.0 (* 2^54 + 2^53 + 1 *));
+  check "well-formed" true (I.lo h <= I.hi h);
+  (* ordinary magnitudes keep behaving: a tiny rounding contradiction
+     still hulls both evaluations *)
+  let h2 = Sym.inverted_hull 1.0000000000000002 1.0 in
+  check "small-gap hull covers both" true
+    (I.lo h2 <= 1.0 && I.hi h2 >= 1.0000000000000002)
+
+let test_nan_poisoned_plane () =
+  (* regression: eval_lower_row/eval_upper_row selected the bound
+     endpoint with [c > 0.0] / [c < 0.0], so a NaN coefficient satisfied
+     neither test and silently contributed NOTHING — an unsoundly finite
+     bound for a plane that actually bounds nothing.  Non-finite
+     coefficients must poison the whole row to an infinite bound. *)
+  let box = B.of_bounds [| (-1.0, 1.0); (2.0, 3.0) |] in
+  let bounds c = Sym.Internal.row_bounds box ~c ~k:0.0 ~e:0.0 in
+  (* sanity: a finite row gives finite bounds *)
+  let flo, fhi = bounds [| 1.0; -2.0 |] in
+  check "finite row finite lower" true (Float.is_finite flo);
+  check "finite row finite upper" true (Float.is_finite fhi);
+  (* NaN coefficient: both bounds must blow to infinity *)
+  let nlo, nhi = bounds [| 1.0; Float.nan |] in
+  check "nan row lower = -inf" true (nlo = Float.neg_infinity);
+  check "nan row upper = +inf" true (nhi = Float.infinity);
+  (* infinite coefficient likewise (0 * inf = nan would otherwise leak) *)
+  let ilo, ihi = bounds [| Float.infinity; 1.0 |] in
+  check "inf row lower = -inf" true (ilo = Float.neg_infinity);
+  check "inf row upper = +inf" true (ihi = Float.infinity)
+
+let test_nan_weight_network_sound () =
+  (* end-to-end: a NaN weight anywhere in the network must surface as an
+     infinite (trivially sound) output bound, never a finite lie *)
+  let l1 =
+    {
+      Net.weights = Mat.init 2 2 (fun i j -> if i = 0 && j = 1 then Float.nan else 1.0);
+      biases = [| 0.0; 0.0 |];
+      activation = Act.Relu;
+    }
+  in
+  let l2 =
+    {
+      Net.weights = Mat.init 1 2 (fun _ _ -> 1.0);
+      biases = [| 0.0 |];
+      activation = Act.Linear;
+    }
+  in
+  let net = Net.make ~input_dim:2 [| l1; l2 |] in
+  let box = B.of_bounds [| (-1.0, 1.0); (-1.0, 1.0) |] in
+  let out = T.propagate T.Symbolic net box in
+  let iv = B.get out 0 in
+  check "poisoned output not finitely bounded" true
+    (I.lo iv = Float.neg_infinity || I.hi iv = Float.infinity)
+
 let test_output_bounds_shape () =
   let net = fig4_network () in
   let box = B.of_bounds [| (0.0, 1.0); (0.0, 1.0) |] in
@@ -292,6 +360,12 @@ let () =
             test_meet_all_sound_and_tighter;
           Alcotest.test_case "thin and degenerate boxes" `Quick
             test_thin_box_sound;
+          Alcotest.test_case "inverted hull adversarial magnitudes" `Quick
+            test_inverted_hull_adversarial;
+          Alcotest.test_case "nan-poisoned plane" `Quick
+            test_nan_poisoned_plane;
+          Alcotest.test_case "nan-weight network" `Quick
+            test_nan_weight_network_sound;
           Alcotest.test_case "output bounds shape" `Quick
             test_output_bounds_shape;
         ] );
