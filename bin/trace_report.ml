@@ -84,7 +84,7 @@ let aggregate key spans =
       Hashtbl.replace tbl k (count + 1, dur +. e.Trace.dur, self +. e.Trace.self))
     spans;
   Hashtbl.fold (fun k (c, d, s) acc -> (k, c, d, s) :: acc) tbl []
-  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a)
 
 let print_phase_table p wall =
   Printf.printf "== phase breakdown (self time) ==\n";

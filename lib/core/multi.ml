@@ -11,7 +11,7 @@ let sub_box box start len =
   B.of_intervals (Array.sub (B.to_array box) start len)
 
 let product (c1 : Controller.t) (c2 : Controller.t) =
-  if c1.Controller.period <> c2.Controller.period then
+  if not (Float.equal c1.Controller.period c2.Controller.period) then
     invalid_arg "Multi.product: periods differ";
   if c1.Controller.domain <> c2.Controller.domain then
     invalid_arg "Multi.product: abstract domains differ";

@@ -725,7 +725,7 @@ let run_leaves ?cancel ~config ~count_once ~on_cell ~on_leaf ~partial
         (fun () -> acc.(task.t_cell) <- (task.t_path, leaf) :: acc.(task.t_cell));
       let rem = Atomic.fetch_and_add cell_pending.(task.t_cell) (-1) - 1 in
       let report = if rem = 0 then Some (finish_cell task.t_cell) else None in
-      ignore (Atomic.fetch_and_add live (-1));
+      Atomic.decr live;
       (if not replay then
          safely (fun () ->
              match on_leaf with
@@ -965,7 +965,7 @@ let run_leaves ?cancel ~config ~count_once ~on_cell ~on_leaf ~partial
   List.iter
     (fun i ->
       Atomic.set cell_pending.(i) 1;
-      ignore (Atomic.fetch_and_add live 1);
+      Atomic.incr live;
       Frontier.push frontier (mk_task i [] 0 cells_arr.(i)))
     pending;
   if pending <> [] then

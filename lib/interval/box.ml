@@ -24,7 +24,7 @@ let corners b =
     if i = n then acc
     else
       let lo = Interval.lo b.(i) and hi = Interval.hi b.(i) in
-      let vals = if lo = hi then [ lo ] else [ lo; hi ] in
+      let vals = if Float.equal lo hi then [ lo ] else [ lo; hi ] in
       let acc =
         List.concat_map (fun c -> List.map (fun v -> v :: c) vals) acc
       in

@@ -57,7 +57,7 @@ let mig x =
 let contains x v = x.lo <= v && v <= x.hi
 let subset a b = b.lo <= a.lo && a.hi <= b.hi
 let intersects a b = a.lo <= b.hi && b.lo <= a.hi
-let equal a b = a.lo = b.lo && a.hi = b.hi
+let equal a b = Float.equal a.lo b.lo && Float.equal a.hi b.hi
 let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
 
 let meet a b =
@@ -80,7 +80,7 @@ let inflate x eps =
   if eps < 0.0 then invalid_arg "Interval.inflate: negative epsilon";
   { lo = R.sub_down x.lo eps; hi = R.add_up x.hi eps }
 
-let is_degenerate x = x.lo = x.hi
+let is_degenerate x = Float.equal x.lo x.hi
 let is_bounded x = Float.is_finite x.lo && Float.is_finite x.hi
 let neg x = { lo = -.x.hi; hi = -.x.lo }
 let add a b = { lo = R.add_down a.lo b.lo; hi = R.add_up a.hi b.hi }

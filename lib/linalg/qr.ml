@@ -58,7 +58,7 @@ let orthonormalize a =
         done;
         (j, !acc))
   in
-  Array.sort (fun (_, x) (_, y) -> compare y x) norms;
+  Array.sort (fun (_, x) (_, y) -> Float.compare y x) norms;
   let permuted = Mat.init n n (fun i j -> Mat.get a i (fst norms.(j))) in
   let q, r = decompose permuted in
   (* guard against rank deficiency: a vanishing diagonal entry of R means

@@ -116,6 +116,51 @@ let apply entries findings =
   in
   (classified, stale)
 
+(* ----- stale-entry classification -----
+
+   [apply] reports leftover budget as stale, but "stale" has two very
+   different flavors for a reviewer: the finding was fixed in place
+   (remove the entry), or the whole file was deleted/renamed (the entry
+   can never match again and silently lingers until someone runs
+   --update-baseline).  Classify by checking whether the file a key
+   points at still exists. *)
+
+(* baseline keys are rule|file|binding|detail (Finding.key) *)
+let file_of_key key =
+  match String.split_on_char '|' key with
+  | _ :: file :: _ -> file
+  | _ -> ""
+
+type stale_kind = Unmatched | Missing_file
+
+let classify_stale ?(file_exists = Sys.file_exists) stale =
+  List.map
+    (fun e ->
+      let f = file_of_key e.key in
+      if f <> "" && not (file_exists f) then (e, Missing_file)
+      else (e, Unmatched))
+    stale
+
+(* shrink [entries] by the stale leftover reported by [apply]: budget
+   the tree no longer uses is dropped, partially-consumed entries keep
+   the consumed part *)
+let prune entries stale =
+  let leftover = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt leftover e.key) in
+      Hashtbl.replace leftover e.key (cur + e.count))
+    stale;
+  List.filter_map
+    (fun e ->
+      match Hashtbl.find_opt leftover e.key with
+      | None -> Some e
+      | Some l ->
+          let keep = max 0 (e.count - l) in
+          Hashtbl.replace leftover e.key (max 0 (l - e.count));
+          if keep = 0 then None else Some { e with count = keep })
+    entries
+
 (* Build a fresh baseline from the current findings, keeping reasons
    from a previous baseline where keys persist. *)
 let of_findings ?(previous = []) findings =

@@ -4,7 +4,15 @@ type rule =
   | R3_top_mutable
   | R3_mutex_unsafe
   | R4_poly_compare
+  | R5_guarded_by
+  | R5_lock_order
+  | R6_atomic_rmw
+  | R6_atomic_publish
+  | R6_faa_discard
+  | R7_perform_under_lock
+  | R7_dls_in_handler
   | Parse_failure
+  | Type_failure
 
 type severity = P1 | P2
 
@@ -14,7 +22,15 @@ let rule_id = function
   | R3_top_mutable -> "r3-top-mutable"
   | R3_mutex_unsafe -> "r3-mutex-unsafe"
   | R4_poly_compare -> "r4-poly-compare"
+  | R5_guarded_by -> "r5-guarded-by"
+  | R5_lock_order -> "r5-lock-order"
+  | R6_atomic_rmw -> "r6-atomic-rmw"
+  | R6_atomic_publish -> "r6-atomic-publish"
+  | R6_faa_discard -> "r6-faa-discard"
+  | R7_perform_under_lock -> "r7-perform-under-lock"
+  | R7_dls_in_handler -> "r7-dls-in-handler"
   | Parse_failure -> "parse-failure"
+  | Type_failure -> "type-failure"
 
 let all_rule_ids =
   [
@@ -23,17 +39,43 @@ let all_rule_ids =
     "r3-top-mutable";
     "r3-mutex-unsafe";
     "r4-poly-compare";
+    "r5-guarded-by";
+    "r5-lock-order";
+    "r6-atomic-rmw";
+    "r6-atomic-publish";
+    "r6-faa-discard";
+    "r7-perform-under-lock";
+    "r7-dls-in-handler";
     "parse-failure";
+    "type-failure";
   ]
 
-(* Soundness (R1) and concurrency (R3) defects make verdicts wrong or
-   runs racy: P1, gating.  Comparison hazards (R2/R4) are usually
-   latent: P2, advisory unless --strict. *)
+(* Soundness (R1) and concurrency defects that corrupt state or deadlock
+   (R3, R5, the atomic lost-update window, perform-under-lock) make
+   verdicts wrong or hang runs: P1, gating.  Comparison hazards (R2/R4)
+   and the advisory atomic/DLS protocols are usually latent: P2,
+   advisory unless --strict. *)
 let severity = function
-  | R1_bare_float | R3_top_mutable | R3_mutex_unsafe | Parse_failure -> P1
-  | R2_float_compare | R4_poly_compare -> P2
+  | R1_bare_float | R3_top_mutable | R3_mutex_unsafe | R5_guarded_by
+  | R5_lock_order | R6_atomic_rmw | R7_perform_under_lock | Parse_failure
+  | Type_failure ->
+      P1
+  | R2_float_compare | R4_poly_compare | R6_atomic_publish | R6_faa_discard
+  | R7_dls_in_handler ->
+      P2
 
 let severity_id = function P1 -> "P1" | P2 -> "P2"
+
+let family = function
+  | R1_bare_float -> "r1"
+  | R2_float_compare -> "r2"
+  | R3_top_mutable | R3_mutex_unsafe -> "r3"
+  | R4_poly_compare -> "r4"
+  | R5_guarded_by | R5_lock_order -> "r5"
+  | R6_atomic_rmw | R6_atomic_publish | R6_faa_discard -> "r6"
+  | R7_perform_under_lock | R7_dls_in_handler -> "r7"
+  | Parse_failure -> "parse-failure"
+  | Type_failure -> "type-failure"
 
 type t = {
   rule : rule;

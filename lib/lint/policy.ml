@@ -2,6 +2,11 @@
    soundness-critical, what counts as bare float arithmetic, which
    modules hold abstract types, and the per-file allowlist.
 
+   Since the typedtree rewrite the identifier sets below are *resolved*
+   paths (what Path.name prints after typechecking), not surface
+   syntax: a file-local [sqrt] shadows the libm one in the typer itself,
+   so no shadowing heuristics are needed.
+
    The allowlist is the coarse suppression tool: a whole (file, rule)
    pair is waived with a recorded reason.  Prefer the finer-grained
    [@lint.fp_exact]/[@lint.allow] attributes when only a few sites in a
@@ -14,9 +19,18 @@
 let r1_dirs =
   [ "lib/interval"; "lib/ode"; "lib/nnabs"; "lib/affine"; "lib/core" ]
 
-(* R3/R4 apply to every library reachable from the Domain.spawn workers
-   in Verify.verify_partition — approximated as all of lib/. *)
+(* R3 applies to every library reachable from the Domain.spawn workers
+   in Verify.verify_partition — approximated as all of lib/.  bin/ is
+   excluded: Arg/Cmdliner option refs at executable toplevel are
+   main-domain-only by construction. *)
 let r3_dirs = [ "lib" ]
+
+(* The concurrency protocols (R5 lock discipline, R6 atomics, R7
+   fiber/effect safety) also cover the executables: nncs_serve spawns
+   dispatcher domains from bin/. *)
+let conc_dirs = [ "lib"; "bin" ]
+
+(* ----- resolved-path identifier sets ----- *)
 
 let bare_float_ops = [ "+."; "-."; "*."; "/."; "**" ]
 
@@ -38,34 +52,58 @@ let float_module_rounding =
     "cbrt"; "fma"; "of_string";
   ]
 
-let poly_eq_ops = [ "="; "<>"; "compare" ]
-let poly_minmax_ops = [ "min"; "max" ]
+(* resolved path -> display name for R1, e.g. "Stdlib.+." -> "+.",
+   "Stdlib.Float.add" -> "Float.add" *)
+let bare_float_paths : (string, string) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  List.iter (fun op -> Hashtbl.replace t ("Stdlib." ^ op) op) bare_float_ops;
+  List.iter (fun f -> Hashtbl.replace t ("Stdlib." ^ f) f) bare_float_funs;
+  List.iter
+    (fun f -> Hashtbl.replace t ("Stdlib.Float." ^ f) ("Float." ^ f))
+    float_module_rounding;
+  t
+
+let poly_eq_paths = [ "Stdlib.="; "Stdlib.<>"; "Stdlib.compare" ]
+let poly_minmax_paths = [ "Stdlib.min"; "Stdlib.max" ]
 
 (* Modules whose principal type is abstract (or whose structural
    equality is documented as meaningless): comparing their values with
-   polymorphic =/compare is R4. *)
+   polymorphic =/compare is R4.  Matched against the owning module of
+   the operand's resolved type constructor, with dune unit mangling
+   stripped ("Nncs_interval__Box.t" owns "Box"). *)
 let abstract_modules =
   [
     "Network"; "Symstate"; "Symset"; "System"; "Controller"; "Box";
     "Interval"; "Interval_matrix"; "Affine_form"; "Expr"; "Ode"; "Cache";
   ]
 
-(* Constructors of shared mutable state (R3) ... *)
+(* Constructors of shared mutable state (R3), as resolved paths ... *)
 let mutable_makers =
   [
-    "ref"; "Hashtbl.create"; "Array.make"; "Array.init"; "Array.copy";
-    "Array.create_float"; "Array.make_matrix"; "Buffer.create";
-    "Queue.create"; "Stack.create"; "Bytes.create"; "Bytes.make";
-    "Bytes.copy"; "Weak.create";
+    "Stdlib.ref"; "Stdlib.Hashtbl.create"; "Stdlib.Array.make";
+    "Stdlib.Array.init"; "Stdlib.Array.copy"; "Stdlib.Array.create_float";
+    "Stdlib.Array.make_matrix"; "Stdlib.Buffer.create";
+    "Stdlib.Queue.create"; "Stdlib.Stack.create"; "Stdlib.Bytes.create";
+    "Stdlib.Bytes.make"; "Stdlib.Bytes.copy"; "Stdlib.Weak.create";
   ]
 
 (* ... and the domain-safe ones that exempt a binding. *)
 let safe_makers =
   [
-    "Atomic.make"; "Mutex.create"; "Condition.create";
-    "Semaphore.Counting.make"; "Semaphore.Binary.make";
-    "Domain.DLS.new_key";
+    "Stdlib.Atomic.make"; "Stdlib.Mutex.create"; "Stdlib.Condition.create";
+    "Stdlib.Semaphore.Counting.make"; "Stdlib.Semaphore.Binary.make";
+    "Stdlib.Domain.DLS.new_key";
   ]
+
+(* Type constructors that make a top-level binding shared mutable state
+   even when the maker is hidden behind a function call (typed R3), and
+   that mark a global as a candidate for cross-module [@@lint.guarded_by]
+   checking (R5).  Display names with the Stdlib prefix stripped (type
+   paths normalize to defining units like Stdlib__Hashtbl). *)
+let mutable_type_heads =
+  [ "ref"; "Hashtbl.t"; "Queue.t"; "Stack.t"; "Buffer.t"; "Bytes.t"; "array" ]
+
+(* ----- per-file allowlist ----- *)
 
 type allow_entry = {
   path_suffix : string;  (* matched against the end of the file path *)
@@ -142,3 +180,4 @@ let in_dirs dirs file =
 
 let r1_scope file = in_dirs r1_dirs file
 let r3_scope file = in_dirs r3_dirs file
+let conc_scope file = in_dirs conc_dirs file

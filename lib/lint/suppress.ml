@@ -4,9 +4,12 @@
      arithmetic in scope is intentionally exact (or intentionally
      heuristic: midpoints, telemetry, step-size control) and must not go
      through Rounding.  Suppresses R1 and R2.
-   - [@@lint.guarded_by "mutex_name"] — the top-level mutable binding is
-     protected by the named mutex on every access path.  Suppresses
-     r3-top-mutable.
+   - [@@lint.guarded_by "mutex_name"] — the top-level mutable binding
+     (or mutable record label) is protected by the named mutex on every
+     access path.  Suppresses r3-top-mutable AND registers the binding
+     with rule R5, which *checks* the claim: accesses outside a region
+     holding the named lock are P1 findings (see Finding docs for the
+     annotation grammar).
    - [@lint.allow "rule-id reason"] — generic escape hatch; the first
      token names a rule id or family prefix ("r4").  Scoped like any
      attribute: expression, binding ([@@...]) or rest-of-file
@@ -48,7 +51,15 @@ let add (attr : Parsetree.attribute) t =
 
 let of_attributes attrs t = List.fold_left (fun t a -> add a t) t attrs
 
+(* the payload of a [@@lint.guarded_by "m"] attribute, for the R5
+   registry (the suppression side is handled by [add]) *)
+let guarded_by attrs =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt = "lint.guarded_by" then payload_string a else None)
+    attrs
+
 let allows t rule_id =
   (t.fp_exact
   && (rule_id = "r1-bare-float" || rule_id = "r2-float-compare"))
-  || List.exists (fun p -> Config.rule_matches p rule_id) t.allowed
+  || List.exists (fun p -> Policy.rule_matches p rule_id) t.allowed

@@ -32,7 +32,7 @@ let counter name =
           counters := c :: !counters;
           c)
 
-let incr c = ignore (Atomic.fetch_and_add c.cell 1)
+let incr c = Atomic.incr c.cell
 
 let add c n = ignore (Atomic.fetch_and_add c.cell n)
 
@@ -62,7 +62,7 @@ let histogram name =
           h)
 
 let observe h x =
-  ignore (Atomic.fetch_and_add h.h_count 1);
+  Atomic.incr h.h_count;
   update_float h.h_sum (fun s -> s +. x);
   update_float h.h_min (fun m -> Float.min m x);
   update_float h.h_max (fun m -> Float.max m x)

@@ -53,7 +53,12 @@ let disable () = Atomic.set enabled_flag false
 
 let events () =
   let all = with_registry (fun () -> List.concat_map (fun buf -> !buf) !registry) in
-  List.sort (fun a b -> compare (a.ts, a.dom) (b.ts, b.dom)) all
+  List.sort
+    (fun a b ->
+      match Float.compare a.ts b.ts with
+      | 0 -> Int.compare a.dom b.dom
+      | c -> c)
+    all
 
 let attr_to_json = function
   | Int i -> Json.Num (float_of_int i)

@@ -1,7 +1,29 @@
-(* Fixture: structural equality on abstract types. *)
+(* Fixture: structural equality on abstract types.  Local stand-in
+   modules carry the policy's abstract-module names so the fixture is
+   self-contained under the typed engine (the rule matches the owning
+   module of the operand's resolved type). *)
+
+module Interval = struct
+  type t = { lo : float; hi : float }
+
+  let make lo hi = { lo; hi }
+  let equal a b = a == b
+end
+
+module Network = struct
+  type t = { layers : int }
+
+  let make layers = { layers }
+end
+
+module Symstate = struct
+  type t = { dim : int }
+
+  let make dim = { dim }
+end
 
 let bad_interval a = a = Interval.make 0.0 1.0
-let bad_net n m = Network.layers n = Network.layers m
+let bad_net (n : Network.t) m = n = m
 let bad_compare n m = compare (Symstate.make n) (Symstate.make m)
 let fine_strings a b = String.equal a b
 let fine_own_equal a b = Interval.equal a b

@@ -1,0 +1,18 @@
+(* Fixture: checked [@@lint.guarded_by] lock discipline.  Linted under
+   a fake lib/ path so the concurrency rules are in scope. *)
+
+let state_mutex = Mutex.create ()
+let state : int list ref = ref [] [@@lint.guarded_by "state_mutex"]
+
+(* good: access inside a Mutex.protect region on the declared lock *)
+let good_push x = Mutex.protect state_mutex (fun () -> state := x :: !state)
+
+(* good: access inside a lock/Fun.protect region on the declared lock *)
+let good_read () =
+  Mutex.lock state_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock state_mutex)
+    (fun () -> !state)
+
+(* bad: no lock held around the guarded binding *)
+let bad_peek () = !state

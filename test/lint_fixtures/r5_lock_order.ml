@@ -1,0 +1,12 @@
+(* Fixture: inconsistent lock-acquisition order between two mutexes —
+   one caller takes a then b, another takes b then a: deadlock risk
+   reported as a lock-order cycle. *)
+
+let lock_a = Mutex.create ()
+let lock_b = Mutex.create ()
+
+let forward f =
+  Mutex.protect lock_a (fun () -> Mutex.protect lock_b (fun () -> f ()))
+
+let backward f =
+  Mutex.protect lock_b (fun () -> Mutex.protect lock_a (fun () -> f ()))

@@ -1,0 +1,25 @@
+(* Fixture: atomic protocol hazards. *)
+
+let counter = Atomic.make 0
+
+(* bad: the value read by get can be overwritten before the set lands
+   (lost update) *)
+let bad_bump () = Atomic.set counter (Atomic.get counter + 1)
+
+(* good: CAS retry loop — the get/set pair goes through compare_and_set *)
+let rec good_bump () =
+  let v = Atomic.get counter in
+  if not (Atomic.compare_and_set counter v (v + 1)) then good_bump ()
+
+type holder = { mutable slot : int Atomic.t }
+
+(* bad: publishing a fresh Atomic.t through a plain mutable field with
+   no lock held *)
+let bad_publish h = h.slot <- Atomic.make 1
+
+(* bad: discarded fetch_and_add with a unit delta — Atomic.incr is the
+   drop-in replacement *)
+let bad_faa () = ignore (Atomic.fetch_and_add counter 1)
+
+(* good: arbitrary deltas have no non-fetching equivalent *)
+let good_add n = ignore (Atomic.fetch_and_add counter n)

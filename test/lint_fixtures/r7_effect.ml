@@ -1,0 +1,33 @@
+(* Fixture: fiber/effect safety. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+let m = Mutex.create ()
+
+(* bad: performing parks the fiber with the lock still held *)
+let bad_perform () = Mutex.protect m (fun () -> Effect.perform Yield)
+
+(* good: the lock is released before performing *)
+let good_perform () =
+  Mutex.protect m (fun () -> ());
+  Effect.perform Yield
+
+let key = Domain.DLS.new_key (fun () -> 0)
+
+(* bad: the handler may run on whichever domain resumes the fiber, so
+   domain-local state read here can belong to the wrong domain *)
+let bad_handler f =
+  Effect.Deep.match_with f ()
+    {
+      Effect.Deep.retc = (fun v -> v);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  let _ = Domain.DLS.get key in
+                  Effect.Deep.continue k ())
+          | _ -> None);
+    }

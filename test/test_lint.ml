@@ -84,13 +84,91 @@ let test_r4 () =
   let fs = lint_as "r4_poly_compare.ml" "bin/r4_poly_compare.ml" in
   check_counts "r4 fixture" [ ("r4-poly-compare", 3) ] fs
 
+let test_r5_guarded () =
+  let fs = lint_as "r5_guarded.ml" "lib/serve/r5_guarded.ml" in
+  check_counts "r5 guarded" [ ("r5-guarded-by", 1) ] fs;
+  Alcotest.(check (list string))
+    "only the unlocked access" [ "bad_peek" ]
+    (bindings_of F.R5_guarded_by fs);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "severity" "P1" (F.severity_id (F.severity f.F.rule)))
+    fs
+
+let test_r5_lock_order () =
+  let fs = lint_as "r5_lock_order.ml" "lib/serve/r5_lock_order.ml" in
+  check_counts "r5 lock order" [ ("r5-lock-order", 1) ] fs;
+  let f = List.hd fs in
+  Alcotest.(check string) "P1" "P1" (F.severity_id (F.severity f.F.rule));
+  Alcotest.(check bool)
+    "cycle key names both locks" true
+    (String.starts_with ~prefix:"cycle:" f.F.detail
+    && String.length f.F.detail > String.length "cycle:")
+
+let test_r6 () =
+  let fs = lint_as "r6_atomic.ml" "lib/serve/r6_atomic.ml" in
+  check_counts "r6 fixture"
+    [
+      ("r6-atomic-publish", 1); ("r6-atomic-rmw", 1); ("r6-faa-discard", 1);
+    ]
+    fs;
+  Alcotest.(check (list string))
+    "lost update flagged in" [ "bad_bump" ]
+    (bindings_of F.R6_atomic_rmw fs);
+  let sev rule =
+    List.find_map
+      (fun f ->
+        if f.F.rule = rule then Some (F.severity_id (F.severity f.F.rule))
+        else None)
+      fs
+  in
+  Alcotest.(check (option string)) "rmw is P1" (Some "P1") (sev F.R6_atomic_rmw);
+  Alcotest.(check (option string))
+    "publish is P2" (Some "P2") (sev F.R6_atomic_publish)
+
+let test_r7 () =
+  let fs = lint_as "r7_effect.ml" "lib/serve/r7_effect.ml" in
+  check_counts "r7 fixture"
+    [ ("r7-dls-in-handler", 1); ("r7-perform-under-lock", 1) ]
+    fs;
+  Alcotest.(check (list string))
+    "perform-under-lock flagged in" [ "bad_perform" ]
+    (bindings_of F.R7_perform_under_lock fs);
+  Alcotest.(check (list string))
+    "dls-in-handler flagged in" [ "bad_handler" ]
+    (bindings_of F.R7_dls_in_handler fs)
+
+let test_conc_scope () =
+  (* the same hazards outside lib/ and bin/ are out of concurrency
+     scope *)
+  let fs = lint_as "r6_atomic.ml" "tools/r6_atomic.ml" in
+  check_counts "r6 out of scope" [] fs
+
 let test_suppression () =
   let fs = lint_as "suppressed.ml" "lib/interval/suppressed.ml" in
   check_counts "all suppressed" [] fs
 
+let test_conc_suppression () =
+  (* [@lint.allow "r6..."] and family prefixes silence the new rules *)
+  let source =
+    "let c = Atomic.make 0\n\
+     let bump () = (Atomic.set c (Atomic.get c + 1))\n\
+     [@@lint.allow \"r6-atomic-rmw test: single-writer protocol\"]\n"
+  in
+  let fs = L.Driver.lint_source ~path:"lib/serve/allow_rmw.ml" source in
+  check_counts "rmw allowed" [] fs
+
 let test_parse_failure () =
   let fs = L.Driver.lint_source ~path:"lib/core/broken.ml" "let let = in" in
   check_counts "parse failure" [ ("parse-failure", 1) ] fs
+
+let test_type_failure () =
+  (* well-formed syntax that does not typecheck is a P1 type-failure,
+     not a silent skip *)
+  let fs =
+    L.Driver.lint_source ~path:"lib/core/untyped.ml" "let f x = x + 0.5\n"
+  in
+  check_counts "type failure" [ ("type-failure", 1) ] fs
 
 (* ----- acceptance criterion: a deliberately-introduced bare [+.] in
    lib/interval is flagged as a new P1 when run without a baseline ----- *)
@@ -167,18 +245,69 @@ let test_baseline_keeps_reasons () =
     "reasons survive regeneration" true
     (List.for_all (fun (e : L.Baseline.entry) -> e.reason = "checked by hand") rebuilt)
 
+(* ----- parallel driver ----- *)
+
+let test_parallel_driver_equivalence () =
+  (* identical findings and per-file coverage regardless of worker
+     count; also drives the serialized typer section from several
+     domains at once *)
+  let seq = L.Driver.run ~workers:1 [ "lint_fixtures" ] in
+  let par = L.Driver.run ~workers:4 [ "lint_fixtures" ] in
+  Alcotest.(check (list string))
+    "same findings"
+    (List.map F.to_string seq.L.Driver.findings)
+    (List.map F.to_string par.L.Driver.findings);
+  Alcotest.(check (list string))
+    "same files covered"
+    (List.map fst seq.L.Driver.per_file)
+    (List.map fst par.L.Driver.per_file);
+  Alcotest.(check bool)
+    "wall-clock recorded" true
+    (List.for_all (fun (_, w) -> w >= 0.) par.L.Driver.per_file)
+
+(* ----- stale baseline entries for deleted files ----- *)
+
+let test_stale_missing_file () =
+  let e =
+    { L.Baseline.key = "r1-bare-float|lib/interval/gone.ml|f|+."; count = 2;
+      reason = "was pending" }
+  in
+  let _, stale = L.Baseline.apply [ e ] [] in
+  Alcotest.(check int) "entry is stale" 1 (List.length stale);
+  let kinds exists =
+    L.Baseline.classify_stale ~file_exists:(fun _ -> exists) stale
+    |> List.map (fun (_, k) -> k = L.Baseline.Missing_file)
+  in
+  Alcotest.(check (list bool)) "deleted file detected" [ true ] (kinds false);
+  Alcotest.(check (list bool)) "live file is just unmatched" [ false ]
+    (kinds true);
+  let pruned = L.Baseline.prune [ e ] stale in
+  Alcotest.(check int) "stale budget pruned away" 0 (List.length pruned);
+  (* partially-consumed entries keep the consumed part *)
+  let half = [ { e with L.Baseline.count = 1 } ] in
+  let kept = L.Baseline.prune [ e ] half in
+  Alcotest.(check (list int))
+    "partial prune keeps consumed budget" [ 1 ]
+    (List.map (fun (x : L.Baseline.entry) -> x.count) kept)
+
 (* ----- the real tree: the linter gate itself ----- *)
 
 let test_repo_is_clean () =
-  (* the test runs from _build/default/test, so the copied library
-     sources sit at ../lib; lint them under their repo-relative names so
-     the scope rules apply.  Skip silently if the layout is unexpected
-     (e.g. installed tests). *)
-  let lib = Filename.concat ".." "lib" in
-  if Sys.file_exists lib && Sys.is_directory lib then begin
-    let files = L.Driver.collect_ml_files [ lib ] in
-    let fs =
-      List.concat_map
+  (* the test runs from _build/default/test, so the copied sources sit
+     at ../lib and ../bin; lint them as ONE tree under their
+     repo-relative names so scope rules and the cross-module analyses
+     (guard declarations, lock-order graph) apply exactly as in CI.
+     Skip silently if the layout is unexpected (e.g. installed
+     tests). *)
+  let roots =
+    List.filter
+      (fun d -> Sys.file_exists d && Sys.is_directory d)
+      [ Filename.concat ".." "lib"; Filename.concat ".." "bin" ]
+  in
+  if roots <> [] then begin
+    let files = L.Driver.collect_ml_files roots in
+    let sources =
+      List.map
         (fun file ->
           let repo_path =
             String.sub file 3 (String.length file - 3) (* drop "../" *)
@@ -189,14 +318,15 @@ let test_repo_is_clean () =
               ~finally:(fun () -> close_in ic)
               (fun () -> really_input_string ic (in_channel_length ic))
           in
-          L.Driver.lint_source ~path:repo_path src)
+          (repo_path, src))
         files
     in
-    let p1 =
-      List.filter (fun f -> F.severity f.F.rule = F.P1) fs
-      |> List.map F.to_string
-    in
-    Alcotest.(check (list string)) "no P1 findings in lib/" [] p1
+    let fs = L.Driver.lint_sources sources in
+    (* the committed baseline is empty: every rule family (R1-R7) must
+       come back clean, not just the P1 subset *)
+    Alcotest.(check (list string))
+      "no findings in lib/ and bin/" []
+      (List.map F.to_string fs)
   end
 
 let () =
@@ -210,14 +340,28 @@ let () =
           Alcotest.test_case "r2 float compare" `Quick test_r2;
           Alcotest.test_case "r3 mutable + mutex" `Quick test_r3;
           Alcotest.test_case "r4 poly compare" `Quick test_r4;
+          Alcotest.test_case "r5 guarded by" `Quick test_r5_guarded;
+          Alcotest.test_case "r5 lock order" `Quick test_r5_lock_order;
+          Alcotest.test_case "r6 atomic protocols" `Quick test_r6;
+          Alcotest.test_case "r7 fiber safety" `Quick test_r7;
+          Alcotest.test_case "concurrency scope" `Quick test_conc_scope;
           Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "concurrency suppression" `Quick
+            test_conc_suppression;
           Alcotest.test_case "parse failure" `Quick test_parse_failure;
+          Alcotest.test_case "type failure" `Quick test_type_failure;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "parallel equivalence" `Quick
+            test_parallel_driver_equivalence;
         ] );
       ( "gate",
         [
           Alcotest.test_case "deliberate regression" `Quick
             test_deliberate_regression;
-          Alcotest.test_case "repo lib/ is clean" `Quick test_repo_is_clean;
+          Alcotest.test_case "repo lib/ and bin/ are clean" `Quick
+            test_repo_is_clean;
         ] );
       ( "baseline",
         [
@@ -225,5 +369,7 @@ let () =
           Alcotest.test_case "budget and stale" `Quick
             test_baseline_budget_and_stale;
           Alcotest.test_case "keeps reasons" `Quick test_baseline_keeps_reasons;
+          Alcotest.test_case "stale for missing file" `Quick
+            test_stale_missing_file;
         ] );
     ]
