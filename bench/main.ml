@@ -1222,6 +1222,139 @@ let e16 () =
   Printf.printf "batched-F# report written to %s\n" !batched_out
 
 (* ------------------------------------------------------------------ *)
+(* E17: backreachability oracle - table build cost vs lookup latency    *)
+(* ------------------------------------------------------------------ *)
+
+let backreach_out = ref "BENCH_backreach.json"
+
+let e17 () =
+  section "E17 / backreach - quantized backward fixed point as an oracle";
+  let module Backreach = Nncs_backreach.Backreach in
+  let sys = S.system ~networks:(Lazy.force networks) () in
+  let r = D.sensor_range_ft in
+  let pi = Float.pi in
+  (* same domain acasxu_verify --backreach uses: the sensor circle on
+     x/y, every partition heading cell on psi, point speeds *)
+  let domain =
+    B.of_bounds
+      [|
+        (-.r, r);
+        (-.r, r);
+        (-.pi, 4.0 *. pi);
+        (D.v_own_fps, D.v_own_fps);
+        (D.v_int_fps, D.v_int_fps);
+      |]
+  in
+  let grid = if !tiny then [| 6; 6; 4; 1; 1 |] else [| 16; 16; 8; 1; 1 |] in
+  let bcfg =
+    {
+      (Backreach.default_config ~domain ~grid) with
+      Backreach.reach = { Reach.default_config with keep_sets = false };
+      workers = min 4 (Domain.recommended_domain_count ());
+    }
+  in
+  let t0 = now () in
+  let table = Backreach.build bcfg sys in
+  let build_s = now () -. t0 in
+  Printf.printf
+    "table: %d/%d states unsafe, %d sweep(s), %d failed, %d escaped, %.2f s \
+     build\n\
+     %!"
+    (Backreach.num_unsafe table)
+    (Backreach.num_states table)
+    (Backreach.sweeps table) (Backreach.failed_states table)
+    (Backreach.escaped_states table)
+    build_s;
+  (* lookup throughput: cell-sized probes sweeping the whole quantized
+     domain, every command in turn — deterministic, so reruns measure
+     the same query stream *)
+  let lookups = if !tiny then 20_000 else 100_000 in
+  let ncmds = 5 in
+  let cw d =
+    let iv = B.get domain d in
+    (iv.Nncs_interval.Interval.hi -. iv.Nncs_interval.Interval.lo)
+    /. float_of_int grid.(d)
+  in
+  let probe i =
+    let cx = i mod grid.(0)
+    and cy = i / grid.(0) mod grid.(1)
+    and cp = i / (grid.(0) * grid.(1)) mod grid.(2) in
+    let lo d c = (B.get domain d).Nncs_interval.Interval.lo +. (float_of_int c *. cw d) in
+    B.of_bounds
+      [|
+        (lo 0 cx, lo 0 cx +. cw 0);
+        (lo 1 cy, lo 1 cy +. cw 1);
+        (lo 2 cp, lo 2 cp +. cw 2);
+        (D.v_own_fps, D.v_own_fps);
+        (D.v_int_fps, D.v_int_fps);
+      |]
+  in
+  let unsafe_hits = ref 0 in
+  let t0 = now () in
+  for i = 0 to lookups - 1 do
+    match Backreach.query table ~box:(probe i) ~cmd:(i mod ncmds) with
+    | Backreach.Unsafe _ -> incr unsafe_hits
+    | Backreach.Safe | Backreach.Out_of_domain -> ()
+  done;
+  let lookup_s = now () -. t0 in
+  let lookups_per_s =
+    if lookup_s > 0.0 then float_of_int lookups /. lookup_s else 0.0
+  in
+  (* the run a lookup substitutes for: one forward verification of a
+     single partition cell, the cheapest answer the run path can give *)
+  let cells =
+    List.map snd (S.initial_cells ~arcs:12 ~headings:4 ~arc_indices:[ 6 ] ())
+  in
+  let config =
+    {
+      Verify.default_config with
+      reach = { Reach.default_config with keep_sets = false };
+      strategy = Verify.All_dims [ D.ix; D.iy; D.ipsi ];
+      max_depth = 0;
+    }
+  in
+  let t0 = now () in
+  let report = Verify.verify_partition ~config sys cells in
+  let full_run_s = now () -. t0 in
+  let per_cell_s = full_run_s /. float_of_int report.Verify.total_cells in
+  let speedup = if lookups_per_s > 0.0 then per_cell_s *. lookups_per_s else 0.0 in
+  Printf.printf
+    "%d lookups in %.3f s (%.0f/s, %d unsafe); forward run %.2f s for %d \
+     cells (%.3f s/cell) -> one lookup is %.0fx cheaper than one cell\n"
+    lookups lookup_s lookups_per_s !unsafe_hits full_run_s
+    report.Verify.total_cells per_cell_s speedup;
+  Printf.printf "host cores (recommended domains): %d\n"
+    (Domain.recommended_domain_count ());
+  let module J = Nncs_obs.Json in
+  let json =
+    J.Obj
+      [
+        ("tiny", J.Bool !tiny);
+        ("host_cores", J.Num (float_of_int (Domain.recommended_domain_count ())));
+        ("grid", J.List (Array.to_list (Array.map (fun g -> J.Num (float_of_int g)) grid)));
+        ("states", J.Num (float_of_int (Backreach.num_states table)));
+        ("unsafe", J.Num (float_of_int (Backreach.num_unsafe table)));
+        ("sweeps", J.Num (float_of_int (Backreach.sweeps table)));
+        ("failed_states", J.Num (float_of_int (Backreach.failed_states table)));
+        ("escaped_states", J.Num (float_of_int (Backreach.escaped_states table)));
+        ("build_s", J.Num build_s);
+        ("lookups", J.Num (float_of_int lookups));
+        ("lookup_s", J.Num lookup_s);
+        ("lookups_per_s", J.Num lookups_per_s);
+        ("unsafe_hits", J.Num (float_of_int !unsafe_hits));
+        ("full_run_s", J.Num full_run_s);
+        ("full_run_cells", J.Num (float_of_int report.Verify.total_cells));
+        ("per_cell_s", J.Num per_cell_s);
+        ("speedup_vs_cell", J.Num speedup);
+      ]
+  in
+  let oc = open_out !backreach_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "backreach report written to %s\n" !backreach_out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels behind the experiments      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1335,12 +1468,14 @@ let () =
   Option.iter (fun p -> serve_out := p) (List.find_map (prefixed "--serve-out=") args);
   Option.iter (fun p -> robust_out := p) (List.find_map (prefixed "--robust-out=") args);
   Option.iter (fun p -> batched_out := p) (List.find_map (prefixed "--batched-out=") args);
+  Option.iter (fun p -> backreach_out := p) (List.find_map (prefixed "--backreach-out=") args);
   if List.mem "--tiny" args then tiny := true;
   let args = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
   let all =
     [ ("e1", e1); ("e1b", e1b); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-      ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16) ]
+      ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+      ("e17", e17) ]
   in
   let want name = args = [] || List.mem name args in
   if List.mem "timing" args then bechamel_suite ()

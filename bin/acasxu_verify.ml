@@ -15,11 +15,119 @@ module Verify = Nncs.Verify
 module Reach = Nncs.Reach
 module Budget = Nncs_resilience.Budget
 module Journal = Nncs_resilience.Journal
+module Backreach = Nncs_backreach.Backreach
+module B = Nncs_interval.Box
+
+(* The quantized backreach domain (DESIGN.md §16): x/y span the sensor
+   circle (beyond it the intruder has left — out-of-domain escape is
+   sound to drop), psi spans every heading cell the partition can emit
+   ([0, 3pi), see Scenario.initial_cells) with a one-pi margin on each
+   side, and the speeds are the scenario's point values. *)
+let backreach_domain () =
+  let r = Nncs_acasxu.Defs.sensor_range_ft in
+  let pi = Float.pi in
+  B.of_bounds
+    [|
+      (-.r, r);
+      (-.r, r);
+      (-.pi, 4.0 *. pi);
+      (Nncs_acasxu.Defs.v_own_fps, Nncs_acasxu.Defs.v_own_fps);
+      (Nncs_acasxu.Defs.v_int_fps, Nncs_acasxu.Defs.v_int_fps);
+    |]
+
+let run_backreach ~reach ~workers ~grid ~table_path ~quiet sys =
+  let gx, gy, gpsi =
+    match grid with
+    | [ gx; gy; gpsi ] when gx > 0 && gy > 0 && gpsi > 0 -> (gx, gy, gpsi)
+    | _ ->
+        Printf.eprintf
+          "error: --backreach-grid wants three positive integers GX,GY,GPSI\n%!";
+        exit 2
+  in
+  let bcfg =
+    {
+      (Backreach.default_config ~domain:(backreach_domain ())
+         ~grid:[| gx; gy; gpsi; 1; 1 |])
+      with
+      Backreach.reach;
+      workers;
+    }
+  in
+  let fp = Backreach.fingerprint bcfg sys in
+  let table =
+    match table_path with
+    | Some path when Sys.file_exists path -> (
+        match Backreach.load path with
+        | Error reason ->
+            Printf.eprintf "error: cannot load backreach table %s: %s\n%!" path
+              reason;
+            exit 2
+        | Ok t ->
+            if Backreach.table_fingerprint t <> fp then begin
+              Printf.eprintf
+                "error: backreach table %s has fingerprint %s but this run's \
+                 is %s\n\
+                 (different domain, grid, networks or analysis \
+                 configuration) — delete it or rerun with the original \
+                 settings.\n\
+                 %!"
+                path
+                (Backreach.table_fingerprint t)
+                fp;
+              exit 2
+            end;
+            if not quiet then
+              Printf.eprintf "backreach: loaded table %s\n%!" path;
+            t)
+    | _ ->
+        let journal = Option.map (fun p -> p ^ ".journal") table_path in
+        let resume =
+          match journal with Some j -> Sys.file_exists j | None -> false
+        in
+        let progress =
+          if quiet then None
+          else
+            Some
+              (fun ~done_states ~total ->
+                if done_states mod 64 = 0 || done_states = total then
+                  Printf.eprintf "\rbackreach %d/%d states...%!" done_states
+                    total)
+        in
+        let t = Backreach.build ?journal ~resume ?progress bcfg sys in
+        if not quiet then Printf.eprintf "\n%!";
+        Option.iter (fun p -> Backreach.save_table t p) table_path;
+        t
+  in
+  Printf.printf
+    "# backreach: %d/%d states unsafe, %d sweep(s), %d failed, %d escaped, \
+     %.1f s\n"
+    (Backreach.num_unsafe table)
+    (Backreach.num_states table)
+    (Backreach.sweeps table)
+    (Backreach.failed_states table)
+    (Backreach.escaped_states table)
+    (Backreach.build_seconds table);
+  table
+
+let run_cross_check table report =
+  let cc = Backreach.check_forward table report in
+  Printf.printf
+    "# cross-check: %d safe + %d unsafe cell(s) compared, %d skipped, %d \
+     disagreement(s)\n"
+    cc.Backreach.checked_safe cc.Backreach.checked_unsafe cc.Backreach.skipped
+    (List.length cc.Backreach.findings);
+  List.iter
+    (fun f ->
+      Printf.printf "# oracle_disagreement: %s\n"
+        (Nncs_obs.Json.to_string (Backreach.finding_to_json f)))
+    cc.Backreach.findings;
+  if cc.Backreach.findings = [] then 0 else 3
 
 let run dir arcs headings arc_sel gamma msteps order domain nn_splits
     max_depth workers scheduler batch_leaves abs_cache abs_cache_quantum
     abs_cache_shards cell_deadline cell_ode_budget cell_state_budget
-    journal_path resume tiny csv trace quiet =
+    journal_path resume tiny csv trace backreach backreach_table
+    backreach_grid cross_check quiet =
   let _, networks =
     if tiny then
       T.load_or_train ~spec:T.tiny_spec ~policy_config:T.tiny_policy_config
@@ -217,7 +325,18 @@ let run dir arcs headings arc_sel gamma msteps order domain nn_splits
             c.Verify.elapsed)
         report.Verify.cells;
       close_out oc);
-  0
+  (* the backreachability oracle (DESIGN.md §16): build or load the
+     quantized backward fixed point, then optionally replay the forward
+     verdicts against it — any disagreement is evidence of a bug in one
+     of the two analyses and fails the run with exit code 3 *)
+  if backreach || backreach_table <> None || cross_check then begin
+    let table =
+      run_backreach ~reach:config.Verify.reach ~workers ~grid:backreach_grid
+        ~table_path:backreach_table ~quiet sys
+    in
+    if cross_check then run_cross_check table report else 0
+  end
+  else 0
 
 open Cmdliner
 
@@ -339,6 +458,41 @@ let trace =
     & info [ "trace" ]
         ~doc:"Record a JSONL span/metrics trace of the run (read it with trace_report).")
 
+let backreach =
+  Arg.(
+    value & flag
+    & info [ "backreach" ]
+        ~doc:"Build the quantized unsafe-backreach table (Bak-Tran \
+              backward fixed point) after the forward run and print its \
+              summary.")
+
+let backreach_table =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backreach-table" ]
+        ~doc:"Persist the backreach table to this JSONL file (implies \
+              $(b,--backreach)).  If the file already exists it is \
+              loaded instead of rebuilt (its fingerprint must match); \
+              during a build, FILE.journal checkpoints every computed \
+              transition so an interrupted build resumes mid-sweep.")
+
+let backreach_grid =
+  Arg.(
+    value
+    & opt (list int) [ 16; 16; 8 ]
+    & info [ "backreach-grid" ]
+        ~doc:"Quantization grid GX,GY,GPSI over (x, y, psi); the speed \
+              dimensions are points.")
+
+let cross_check =
+  Arg.(
+    value & flag
+    & info [ "cross-check" ]
+        ~doc:"Replay every forward cell verdict against the backreach \
+              table (implies $(b,--backreach)); any oracle_disagreement \
+              finding is printed and the run exits with code 3.")
+
 let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output.")
 
 let cmd =
@@ -349,6 +503,7 @@ let cmd =
       $ domain $ nn_splits $ max_depth $ workers $ scheduler $ batch_leaves
       $ abs_cache $ abs_cache_quantum $ abs_cache_shards $ cell_deadline
       $ cell_ode_budget $ cell_state_budget $ journal $ resume $ tiny $ csv
-      $ trace $ quiet)
+      $ trace $ backreach $ backreach_table $ backreach_grid $ cross_check
+      $ quiet)
 
 let () = exit (Cmd.eval' cmd)

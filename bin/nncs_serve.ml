@@ -120,7 +120,8 @@ let serve_socket server path quiet =
         Printf.eprintf "nncs_serve: drained on signal\n%!")
 
 let run dir tiny dispatchers abs_cache abs_cache_quantum abs_cache_shards memo
-    memo_capacity max_queue max_line_bytes job_deadline socket quiet =
+    memo_capacity max_queue max_line_bytes job_deadline backreach_table socket
+    quiet =
   (* a client that disconnects mid-stream must not kill the resident
      server: with SIGPIPE ignored, writes to a dead peer raise
      [Sys_error], which the session loop absorbs *)
@@ -139,6 +140,22 @@ let run dir tiny dispatchers abs_cache abs_cache_quantum abs_cache_shards memo
     List.map snd (S.initial_cells ~arcs ~headings ?arc_indices ())
   in
   let pos_opt n = if n <= 0 then None else Some n in
+  let backreach =
+    match backreach_table with
+    | None -> None
+    | Some path -> (
+        match Nncs_backreach.Backreach.load path with
+        | Ok table ->
+            if not quiet then
+              Printf.eprintf "nncs_serve: backreach table %s (%d unsafe)\n%!"
+                path
+                (Nncs_backreach.Backreach.num_unsafe table);
+            Some table
+        | Error reason ->
+            Printf.eprintf "nncs_serve: cannot load backreach table %s: %s\n%!"
+              path reason;
+            exit 2)
+  in
   let config =
     {
       Server.dispatchers;
@@ -156,6 +173,7 @@ let run dir tiny dispatchers abs_cache abs_cache_quantum abs_cache_shards memo
       max_queue = pos_opt max_queue;
       max_line_bytes;
       job_deadline_s = (if job_deadline <= 0.0 then None else Some job_deadline);
+      backreach;
     }
   in
   let server = Server.create config ~make_system ~make_cells in
@@ -247,6 +265,16 @@ let job_deadline =
         ~doc:"Cancel any job still running after this many seconds \
               (server-side straggler watchdog); 0 disables it.")
 
+let backreach_table =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backreach-table" ]
+        ~doc:"Load a quantized backreachability table (built by \
+              $(b,acasxu_verify --backreach)) and answer lookup \
+              requests from it, ahead of every other tier.  Only valid \
+              for the network set this server runs.")
+
 let socket =
   Arg.(
     value
@@ -266,6 +294,6 @@ let cmd =
     Term.(
       const run $ dir $ tiny $ dispatchers $ abs_cache $ abs_cache_quantum
       $ abs_cache_shards $ memo $ memo_capacity $ max_queue $ max_line_bytes
-      $ job_deadline $ socket $ quiet)
+      $ job_deadline $ backreach_table $ socket $ quiet)
 
 let () = exit (Cmd.eval' cmd)

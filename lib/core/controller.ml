@@ -127,8 +127,23 @@ let commands_of_scores ctrl y =
 let abstract_step ?cache ctrl ~box ~prev_cmd =
   commands_of_scores ctrl (abstract_scores ?cache ctrl ~box ~prev_cmd)
 
+(* A NaN score makes every [<]/[>] comparison below false, so the scan
+   would silently fall through to index 0 — poisoned network output
+   becoming a confidently wrong command.  Non-finite scores (NaN or an
+   overflowed evaluation) are a failure to surface, not a choice to
+   make. *)
+let check_finite_scores name scores =
+  Array.iteri
+    (fun i s ->
+      if not (Float.is_finite s) then
+        invalid_arg
+          (Printf.sprintf "Controller.%s: non-finite score %h at index %d" name
+             s i))
+    scores
+
 let argmin_post scores =
   if Array.length scores = 0 then invalid_arg "Controller.argmin_post: empty";
+  check_finite_scores "argmin_post" scores;
   let best = ref 0 in
   for i = 1 to Array.length scores - 1 do
     if scores.(i) < scores.(!best) then best := i
@@ -153,6 +168,7 @@ let argmin_post_abs box =
 
 let argmax_post scores =
   if Array.length scores = 0 then invalid_arg "Controller.argmax_post: empty";
+  check_finite_scores "argmax_post" scores;
   let best = ref 0 in
   for i = 1 to Array.length scores - 1 do
     if scores.(i) > scores.(!best) then best := i

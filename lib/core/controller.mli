@@ -89,13 +89,19 @@ val commands_of_scores : t -> Nncs_interval.Box.t -> int list
 
 val argmin_post : float array -> int
 (** The ACAS Xu style post-processing: pick the command whose score is
-    minimal (ties to the smallest index). *)
+    minimal (ties to the smallest index).  Raises [Invalid_argument] on
+    a non-finite score: a NaN would make every comparison false and
+    silently select index 0, so poisoned network output surfaces as a
+    failure instead of a confidently wrong command. *)
 
 val argmin_post_abs : Nncs_interval.Box.t -> int list
 (** Sound abstraction: command i is reachable iff its score can be
     lower than or equal to every other score. *)
 
 val argmax_post : float array -> int
+(** Like {!argmin_post} with maximal scores; raises [Invalid_argument]
+    on a non-finite score. *)
+
 val argmax_post_abs : Nncs_interval.Box.t -> int list
 
 val identity_pre : float array -> float array

@@ -1,24 +1,41 @@
 module Json = Nncs_obs.Json
 
-type writer = { oc : out_channel; mutex : Mutex.t }
+(* [closed] is guarded by [mutex], like the channel itself: a close
+   racing a concurrent write must not slam the channel shut mid-line
+   (the write would raise on the closed descriptor and escape the
+   verdict boundary).  After [close], further writes are no-ops — the
+   shutdown path may cross a worker still journaling its last record,
+   and losing that record is the documented crash-loss contract
+   anyway. *)
+type writer = { oc : out_channel; mutex : Mutex.t; mutable closed : bool }
 
 let create ?(append = false) path =
   let flags =
     if append then [ Open_wronly; Open_creat; Open_append ]
     else [ Open_wronly; Open_creat; Open_trunc ]
   in
-  { oc = open_out_gen flags 0o644 path; mutex = Mutex.create () }
+  { oc = open_out_gen flags 0o644 path; mutex = Mutex.create (); closed = false }
 
 let write w j =
   Mutex.lock w.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock w.mutex)
     (fun () ->
-      output_string w.oc (Json.to_string j);
-      output_char w.oc '\n';
-      flush w.oc)
+      if not w.closed then begin
+        output_string w.oc (Json.to_string j);
+        output_char w.oc '\n';
+        flush w.oc
+      end)
 
-let close w = close_out w.oc
+let close w =
+  Mutex.lock w.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.mutex)
+    (fun () ->
+      if not w.closed then begin
+        w.closed <- true;
+        close_out w.oc
+      end)
 
 let with_writer ?append path f =
   let w = create ?append path in
@@ -33,31 +50,27 @@ let load ?on_malformed path =
           Printf.eprintf "warning: journal %s: skipping malformed line %d (%s)\n%!"
             path line reason
   in
-  let ic = open_in path in
-  let lines =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let acc = ref [] in
-        (try
-           while true do
-             acc := input_line ic :: !acc
-           done
-         with End_of_file -> ());
-        List.rev !acc)
-  in
   (* A server appending continuously can crash mid-line and then keep
      appending complete records after the torn one on restart, so a
      malformed line is a recoverable event *anywhere*, not only at the
      tail: skip it with a warning and keep every parseable record.
      Blank lines (the newline of the last complete record) are silently
-     ignored. *)
-  List.mapi (fun i l -> (i, l)) lines
-  |> List.filter_map (fun (i, l) ->
-         if String.trim l = "" then None
-         else
-           match Json.of_string l with
-           | j -> Some j
-           | exception Json.Parse_error reason ->
-               warn ~line:(i + 1) reason;
-               None)
+     ignored.  Lines are parsed as they stream in — a long-lived memo
+     journal must not be materialized as a whole string list first,
+     which would make restart memory proportional to the file size. *)
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go line acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | l when String.trim l = "" -> go (line + 1) acc
+        | l -> (
+            match Json.of_string l with
+            | j -> go (line + 1) (j :: acc)
+            | exception Json.Parse_error reason ->
+                warn ~line reason;
+                go (line + 1) acc)
+      in
+      go 1 [])

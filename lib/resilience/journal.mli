@@ -15,9 +15,15 @@ val create : ?append:bool -> string -> writer
     concurrently. *)
 
 val write : writer -> Nncs_obs.Json.t -> unit
-(** Serialize on one line and flush. *)
+(** Serialize on one line and flush.  A write after {!close} is a
+    silent no-op: a worker journaling its last record may race the
+    shutdown path, and losing that record is within the crash-loss
+    contract — raising through the verdict boundary is not. *)
 
 val close : writer -> unit
+(** Close the underlying channel.  Taken under the writer mutex, so a
+    concurrent {!write} either completes its line first or becomes a
+    no-op — never hits a closed channel.  Idempotent. *)
 
 val with_writer : ?append:bool -> string -> (writer -> 'a) -> 'a
 

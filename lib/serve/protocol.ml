@@ -20,9 +20,20 @@ type job = {
   use_memo : bool;
 }
 
-type request = Job of job | Cancel of string | Stats | Shutdown
+type request =
+  | Job of job
+  | Lookup of { id : string; box : B.t; cmd : int }
+  | Cancel of string
+  | Stats
+  | Shutdown
 
 type source = Memo | Run | Coalesced
+
+type lookup_status =
+  | Lookup_unsafe of { k : int }
+  | Lookup_safe
+  | Lookup_out_of_domain
+  | Lookup_unavailable
 
 type event =
   | Accepted of { id : string; fingerprint : string }
@@ -37,6 +48,7 @@ type event =
       total_cells : int;
       elapsed_s : float;
     }
+  | Lookup_result of { id : string; status : lookup_status }
   | Cancelled of { id : string; reason : string }
   | Job_error of { id : string; reason : string }
   | Stats_report of J.t
@@ -53,6 +65,12 @@ let source_to_string = function
   | Memo -> "memo"
   | Run -> "run"
   | Coalesced -> "coalesced"
+
+let lookup_status_to_string = function
+  | Lookup_unsafe _ -> "unsafe"
+  | Lookup_safe -> "safe"
+  | Lookup_out_of_domain -> "out_of_domain"
+  | Lookup_unavailable -> "unavailable"
 
 (* ----- field accessors: every failure is a [Parse_error] so the
    request parser's single [try] turns it into an [Error reason] ----- *)
@@ -203,6 +221,14 @@ let request_of_json j =
   try
     match J.member "t" j with
     | Some (J.Str "job") -> Ok (Job (job_of_json j))
+    | Some (J.Str "lookup") ->
+        Ok
+          (Lookup
+             {
+               id = str_field "id" j;
+               box = box_of_json (req_field "box" j);
+               cmd = int_field ~default:0 "cmd" j;
+             })
     | Some (J.Str "cancel") -> Ok (Cancel (str_field "id" j))
     | Some (J.Str "stats") -> Ok Stats
     | Some (J.Str "shutdown") -> Ok Shutdown
@@ -282,6 +308,14 @@ let job_to_json (job : job) =
 
 let request_to_json = function
   | Job job -> job_to_json job
+  | Lookup { id; box; cmd } ->
+      J.Obj
+        [
+          ("t", J.Str "lookup");
+          ("id", J.Str id);
+          ("box", box_to_json box);
+          ("cmd", num_int cmd);
+        ]
   | Cancel id -> J.Obj [ ("t", J.Str "cancel"); ("id", J.Str id) ]
   | Stats -> J.Obj [ ("t", J.Str "stats") ]
   | Shutdown -> J.Obj [ ("t", J.Str "shutdown") ]
@@ -325,6 +359,14 @@ let event_to_json = function
           ("total_cells", num_int total_cells);
           ("elapsed_s", J.Num elapsed_s);
         ]
+  | Lookup_result { id; status } ->
+      J.Obj
+        ([
+           ("t", J.Str "lookup_result");
+           ("id", J.Str id);
+           ("status", J.Str (lookup_status_to_string status));
+         ]
+        @ match status with Lookup_unsafe { k } -> [ ("k", num_int k) ] | _ -> [])
   | Cancelled { id; reason } ->
       J.Obj
         [ ("t", J.Str "cancelled"); ("id", J.Str id); ("reason", J.Str reason) ]
@@ -370,6 +412,20 @@ let event_of_json j =
                  J.to_int (req_field "unknown_cells" j);
                total_cells = J.to_int (req_field "total_cells" j);
                elapsed_s = J.to_float (req_field "elapsed_s" j);
+             })
+    | Some (J.Str "lookup_result") ->
+        Ok
+          (Lookup_result
+             {
+               id = str_field "id" j;
+               status =
+                 (match str_field "status" j with
+                 | "unsafe" ->
+                     Lookup_unsafe { k = J.to_int (req_field "k" j) }
+                 | "safe" -> Lookup_safe
+                 | "out_of_domain" -> Lookup_out_of_domain
+                 | "unavailable" -> Lookup_unavailable
+                 | s -> fail "unknown lookup status %S" s);
              })
     | Some (J.Str "cancelled") ->
         Ok (Cancelled { id = str_field "id" j; reason = str_field "reason" j })

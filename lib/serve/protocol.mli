@@ -8,7 +8,7 @@
     {b Request grammar} (defaults in brackets; see DESIGN.md §12):
 
     {v
-    request  := job | cancel | stats | shutdown
+    request  := job | lookup | cancel | stats | shutdown
     job      := { "t":"job", "id":STR,
                   "cells":[cell...] | "partition":{"arcs":N,"headings":N,
                                                    "arc_indices":[N...]},
@@ -27,6 +27,7 @@
                   "max_symstates":N,                         [unlimited]
                   "memo":BOOL }                              [true]
     cell     := { "box":[[lo,hi]...], "cmd":N }
+    lookup   := { "t":"lookup", "id":STR, "box":[[lo,hi]...], "cmd":N }
     cancel   := { "t":"cancel", "id":STR }
     stats    := { "t":"stats" }
     shutdown := { "t":"shutdown" }
@@ -34,9 +35,18 @@
 
     {b Events}: [accepted] (echoes the problem fingerprint), [progress]
     (cells done / total, only for jobs that actually run), [verdict]
-    (with ["source":"memo"|"run"|"coalesced"]), [cancelled] (the
-    terminal event of a cancelled job; also the ack of a [cancel]
-    request), [error], [stats], [bye]. *)
+    (with ["source":"memo"|"run"|"coalesced"]), [lookup_result] (the
+    answer to a [lookup]: ["status":"unsafe"|"safe"|"out_of_domain"|
+    "unavailable"], with ["k"] — sweeps to contact — when unsafe),
+    [cancelled] (the terminal event of a cancelled job; also the ack of
+    a [cancel] request), [error], [stats], [bye].
+
+    A [lookup] probes the server's quantized backreachability table
+    (DESIGN.md §16): it is answered inline by the session loop, before
+    the job queue, the verdict memo and every other tier — no
+    reachability analysis can run on its behalf.  [status = safe] means
+    no covering quantized state of the box can ever reach the erroneous
+    set; [unavailable] means the server holds no table. *)
 
 type cells_spec =
   | Explicit of Nncs.Symstate.t list  (** the job carries its own cells *)
@@ -59,6 +69,9 @@ type job = {
 
 type request =
   | Job of job
+  | Lookup of { id : string; box : Nncs_interval.Box.t; cmd : int }
+      (** probe the backreach table for this (box, command) — answered
+          inline with a [Lookup_result], never queued *)
   | Cancel of string
       (** cancel the job with this id — queued jobs are dropped before
           dispatch, a running job's cancel token is tripped; the ack is
@@ -73,6 +86,13 @@ type source =
       (** single-flight: an identical job was already in flight, and
           this one received the shared run's verdict *)
 
+type lookup_status =
+  | Lookup_unsafe of { k : int }
+      (** some covering quantized state can reach E in [k] sweeps *)
+  | Lookup_safe  (** no covering quantized state is in the table *)
+  | Lookup_out_of_domain
+  | Lookup_unavailable  (** the server holds no backreach table *)
+
 type event =
   | Accepted of { id : string; fingerprint : string }
   | Progress of { id : string; cells_done : int; total : int }
@@ -86,6 +106,9 @@ type event =
       total_cells : int;
       elapsed_s : float;
     }
+  | Lookup_result of { id : string; status : lookup_status }
+      (** answer to a [Lookup]; not a job event — it never enters the
+          per-id terminal-event accounting *)
   | Cancelled of { id : string; reason : string }
       (** terminal event of a cancelled job; emitted as the immediate
           ack of an effective [Cancel] request *)
@@ -101,6 +124,10 @@ val default_config : Nncs.Verify.config
     pipes) and [max_depth = 0] (refinement is opt-in per job). *)
 
 val source_to_string : source -> string
+val lookup_status_to_string : lookup_status -> string
+(** ["unsafe"], ["safe"], ["out_of_domain"] or ["unavailable"] — the
+    wire encoding of the status (the [k] of an unsafe verdict travels
+    in its own field). *)
 
 val request_of_json : Nncs_obs.Json.t -> (request, string) result
 (** Total: malformed requests come back as [Error reason], never an

@@ -16,6 +16,7 @@ let m_errors = Metrics.counter "serve.errors"
 let m_coalesced = Metrics.counter "serve.coalesced_jobs"
 let m_cancelled = Metrics.counter "serve.cancelled_jobs"
 let m_shed = Metrics.counter "serve.shed_jobs"
+let m_lookups = Metrics.counter "serve.lookups"
 
 type config = {
   dispatchers : int;
@@ -25,6 +26,7 @@ type config = {
   max_queue : int option;
   max_line_bytes : int;
   job_deadline_s : float option;
+  backreach : Nncs_backreach.Backreach.t option;
 }
 
 let default_config =
@@ -37,6 +39,7 @@ let default_config =
     max_queue = None;
     max_line_bytes = 1 lsl 20;
     job_deadline_s = None;
+    backreach = None;
   }
 
 (* ----- single-flight coalescing -----
@@ -355,6 +358,22 @@ let submit t ~emit ?on_start (job : Protocol.job) =
 
 let lookup t fp = Memo.peek t.memo fp
 
+(* A table probe: pure in-memory hash lookups, no reachability, no
+   queueing — answered on whatever domain asks.  The table itself is
+   immutable after load, so no lock is involved. *)
+let answer_lookup t ~id ~box ~cmd =
+  Metrics.incr m_lookups;
+  let status =
+    match t.config.backreach with
+    | None -> Protocol.Lookup_unavailable
+    | Some table -> (
+        match Nncs_backreach.Backreach.query table ~box ~cmd with
+        | Nncs_backreach.Backreach.Unsafe { k } -> Protocol.Lookup_unsafe { k }
+        | Nncs_backreach.Backreach.Safe -> Protocol.Lookup_safe
+        | Nncs_backreach.Backreach.Out_of_domain -> Protocol.Lookup_out_of_domain)
+  in
+  Protocol.Lookup_result { id; status }
+
 let stats_json t =
   let num_int n = J.Num (float_of_int n) in
   let cache_fields =
@@ -382,6 +401,8 @@ let stats_json t =
        ("cancelled_jobs", num_int (Metrics.value m_cancelled));
        ("shed_jobs", num_int (Metrics.value m_shed));
        ("live_flights", num_int live_flights);
+       ("lookups", num_int (Metrics.value m_lookups));
+       ("backreach_table", J.Bool (Option.is_some t.config.backreach));
        ("memo_entries", num_int (Memo.size t.memo));
        ( "memo_hits",
          num_int (Metrics.value (Metrics.counter "serve.memo_hits")) );
@@ -438,7 +459,10 @@ let event_id = function
   | Protocol.Cancelled { id; _ }
   | Protocol.Job_error { id; _ } ->
       Some id
-  | Protocol.Stats_report _ | Protocol.Bye -> None
+  (* a lookup answer is not a job event: it must bypass the per-id
+     single-terminal registry entirely, or a lookup reusing a finished
+     job's id would be suppressed *)
+  | Protocol.Lookup_result _ | Protocol.Stats_report _ | Protocol.Bye -> None
 
 let is_terminal = function
   | Protocol.Verdict _ | Protocol.Cancelled _ | Protocol.Job_error _ -> true
@@ -672,6 +696,10 @@ let run t ic oc =
                 in
                 emit (Protocol.Job_error { id; reason })
             | Ok (Protocol.Job job) -> enqueue job
+            | Ok (Protocol.Lookup { id; box; cmd }) ->
+                (* inline, ahead of the queue and every serving tier: a
+                   table probe must stay cheap even while jobs run *)
+                emit (answer_lookup t ~id ~box ~cmd)
             | Ok (Protocol.Cancel id) -> handle_cancel id
             | Ok Protocol.Stats -> emit (Protocol.Stats_report (stats_json t))
             | Ok Protocol.Shutdown ->

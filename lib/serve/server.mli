@@ -50,13 +50,18 @@ type config = {
   job_deadline_s : float option;
       (** server-side straggler watchdog: any job running longer than
           this is cancelled ([None]: no watchdog) *)
+  backreach : Nncs_backreach.Backreach.t option;
+      (** quantized backreachability table answering [lookup] requests
+          ([None]: lookups answer [unavailable]).  Like the memo, a
+          table is only meaningful for the network set the server
+          actually runs — its fingerprint does not hash weights. *)
 }
 
 val default_config : config
 (** One dispatcher; a large exact-key cache ([capacity 65536, quantum 0,
     8 shards] — quantum 0 keeps served verdicts bitwise-identical to
     uncached runs); no memo journal, unbounded memo and queue, 1 MiB
-    line cap, no job deadline. *)
+    line cap, no job deadline, no backreach table. *)
 
 type t
 
@@ -126,9 +131,12 @@ val run : t -> in_channel -> out_channel -> [ `Shutdown | `Eof ]
 (** The JSONL session loop: read one request per line from [ic], stream
     events to [oc].  Jobs are queued and executed by
     [config.dispatchers] domains while the calling domain keeps
-    reading, so independent jobs overlap; [cancel], [stats] and
-    [shutdown] are answered inline (a [stats] reply can therefore
-    overtake verdicts of still-running jobs).  On [shutdown] or end of
+    reading, so independent jobs overlap; [lookup], [cancel], [stats]
+    and [shutdown] are answered inline — a [lookup] in particular is
+    served from the in-memory backreach table ahead of the job queue
+    and the verdict memo, so repeated probes never enter the run path
+    (a [stats] or [lookup_result] reply can therefore overtake verdicts
+    of still-running jobs).  On [shutdown] or end of
     input the queue is drained, dispatchers joined, coalesced followers
     of foreign flights awaited, and a final [bye] emitted; the return
     value says which of the two ended the session (a socket server

@@ -36,6 +36,7 @@ module Verify = Nncs.Verify
 module Partition = Nncs.Partition
 module P = Nncs_serve.Protocol
 module Server = Nncs_serve.Server
+module Backreach = Nncs_backreach.Backreach
 
 let check = Alcotest.(check bool)
 
@@ -116,6 +117,48 @@ let job_line ~id spec_idx =
 let cancel_line id =
   Printf.sprintf {|{"t":"cancel","id":%s}|} (J.to_string (J.Str id))
 
+(* the backreach table behind the lookup fast path, over the same
+   homing loop; probes mix in-table, safe, out-of-domain boxes and an
+   out-of-range command *)
+let chaos_table =
+  lazy
+    (Backreach.build
+       {
+         (Backreach.default_config
+            ~domain:(B.of_bounds [| (0.0, 4.5) |])
+            ~grid:[| 9 |])
+         with
+         Backreach.reach = { Nncs.Reach.default_config with keep_sets = false };
+       }
+       (homing_system ()))
+
+let lookup_probes =
+  [|
+    ((4.25, 4.5), 0);
+    ((4.25, 4.5), 1);
+    ((0.05, 0.2), 0);
+    ((1.0, 3.0), 1);
+    ((9.0, 9.5), 0);
+    ((1.0, 2.0), 7);
+  |]
+
+let expected_lookup_status probe_idx =
+  let (lo, hi), cmd = lookup_probes.(probe_idx) in
+  match
+    Backreach.query (Lazy.force chaos_table)
+      ~box:(B.of_bounds [| (lo, hi) |])
+      ~cmd
+  with
+  | Backreach.Unsafe { k } -> P.Lookup_unsafe { k }
+  | Backreach.Safe -> P.Lookup_safe
+  | Backreach.Out_of_domain -> P.Lookup_out_of_domain
+
+let lookup_line ~id probe_idx =
+  let (lo, hi), cmd = lookup_probes.(probe_idx) in
+  J.to_string
+    (P.request_to_json
+       (P.Lookup { id; box = B.of_bounds [| (lo, hi) |]; cmd }))
+
 (* direct, unserved reference runs, one per spec *)
 let direct_reports : (int, Verify.report) Hashtbl.t = Hashtbl.create 8
 
@@ -142,8 +185,12 @@ let leaf_verdicts (r : Verify.report) =
 
 (* ----- the generated script ----- *)
 
-type op_line = { text : string; kind : [ `Job of string * int | `Other ] }
-(* [`Job (id, spec_idx)]: a well-formed job request line *)
+type op_line = {
+  text : string;
+  kind : [ `Job of string * int | `Lookup of string * int | `Other ];
+}
+(* [`Job (id, spec_idx)]: a well-formed job request line;
+   [`Lookup (id, probe_idx)]: a backreach probe *)
 
 type session_script = {
   lines : op_line list;
@@ -207,8 +254,16 @@ let gen_session rng ~session ~ops ~boom_ids =
       in
       push { text = cancel_line id; kind = `Other }
     end
-    else if r < 93 then push { text = garbage rng; kind = `Other }
-    else if r < 96 then push { text = {|{"t":"stats"}|}; kind = `Other }
+    else if r < 90 then push { text = garbage rng; kind = `Other }
+    else if r < 94 then begin
+      (* a backreach lookup, interleaved among the jobs: answered
+         inline off the table, never entering the run path *)
+      let id = Printf.sprintf "s%d-l%d" session !fresh in
+      incr fresh;
+      let probe = Random.State.int rng (Array.length lookup_probes) in
+      push { text = lookup_line ~id probe; kind = `Lookup (id, probe) }
+    end
+    else if r < 97 then push { text = {|{"t":"stats"}|}; kind = `Other }
     else push { text = ""; kind = `Other }
   done;
   let clean_shutdown = Random.State.bool rng in
@@ -275,9 +330,38 @@ let check_session server ~session script outcome events =
           Hashtbl.replace submissions id
             (1 + Option.value ~default:0 (Hashtbl.find_opt submissions id));
           if not (Hashtbl.mem id_spec id) then Hashtbl.add id_spec id spec
-      | `Other -> ())
+      | `Lookup _ | `Other -> ())
     script.lines;
   let count pred = List.length (List.filter pred events) in
+  (* every lookup: exactly one [lookup_result], carrying exactly the
+     status a direct [Backreach.query] of the same probe answers, and
+     never any job event — the fast path must not enter the run path *)
+  List.iter
+    (fun l ->
+      match l.kind with
+      | `Lookup (id, probe) ->
+          let replies =
+            List.filter_map
+              (function
+                | P.Lookup_result { id = i; status } when i = id -> Some status
+                | _ -> None)
+              events
+          in
+          check
+            (ctx "lookup %s: exactly one reply" id)
+            true
+            (List.length replies = 1);
+          check
+            (ctx "lookup %s: reply matches a direct table query" id)
+            true
+            (replies = [ expected_lookup_status probe ]);
+          check
+            (ctx "lookup %s: never accepted as a job" id)
+            true
+            (count (function P.Accepted { id = i; _ } -> i = id | _ -> false)
+            = 0)
+      | `Job _ | `Other -> ())
+    script.lines;
   Hashtbl.iter
     (fun id n_submitted ->
       let terminals =
@@ -361,7 +445,11 @@ let test_chaos () =
       check "soak covers at least 200 request lines" true (op_count >= 200);
       let server =
         Server.create
-          { Server.default_config with Server.dispatchers = 3 }
+          {
+            Server.default_config with
+            Server.dispatchers = 3;
+            backreach = Some (Lazy.force chaos_table);
+          }
           ~make_system:(fun ~domain:_ ~nn_splits:_ -> homing_system ())
           ~make_cells:(fun ~arcs ~headings:_ ~arc_indices:_ -> homing_cells arcs)
       in

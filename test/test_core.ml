@@ -209,6 +209,27 @@ let test_controller_abstract () =
   let both = Controller.abstract_step c ~box:(B.of_bounds [| (0.5, 1.5) |]) ~prev_cmd:0 in
   Alcotest.(check (list int)) "straddle" [ 0; 1 ] (List.sort compare both)
 
+let test_argminmax_post_non_finite () =
+  (* a NaN makes every comparison false: before the finiteness guard the
+     scan silently fell through to index 0 — assert both directions now
+     raise instead, and that finite inputs are untouched *)
+  Alcotest.(check int) "finite argmin" 1 (Controller.argmin_post [| 2.0; 1.0 |]);
+  Alcotest.(check int) "finite argmax" 0 (Controller.argmax_post [| 2.0; 1.0 |]);
+  let raises f scores =
+    match f scores with
+    | (_ : int) -> false
+    | exception Invalid_argument _ -> true
+  in
+  check "argmin NaN first (old silent index 0)" true
+    (raises Controller.argmin_post [| Float.nan; 1.0 |]);
+  check "argmin NaN later" true
+    (raises Controller.argmin_post [| 1.0; Float.nan |]);
+  check "argmin +inf" true
+    (raises Controller.argmin_post [| Float.infinity; 1.0 |]);
+  check "argmax NaN" true (raises Controller.argmax_post [| Float.nan; 1.0 |]);
+  check "argmax -inf" true
+    (raises Controller.argmax_post [| 1.0; Float.neg_infinity |])
+
 let test_argmin_post_abs () =
   (* scores: [0] in [1,2], [1] in [3,4] -> only 0 reachable *)
   let only0 = Controller.argmin_post_abs (B.of_bounds [| (1.0, 2.0); (3.0, 4.0) |]) in
@@ -538,6 +559,8 @@ let () =
           Alcotest.test_case "concrete" `Quick test_controller_concrete;
           Alcotest.test_case "abstract" `Quick test_controller_abstract;
           Alcotest.test_case "argmin post#" `Quick test_argmin_post_abs;
+          Alcotest.test_case "non-finite scores raise" `Quick
+            test_argminmax_post_non_finite;
         ] );
       ( "reach",
         [

@@ -540,6 +540,44 @@ let test_journal_skips_malformed_mid_file () =
             (Option.map Json.to_int (Json.member "index" last))
       | [] -> Alcotest.fail "journal came back empty"))
 
+(* Shutdown races a worker still journaling: [close] must serialize with
+   in-flight [write]s (no exception may cross the verdict boundary) and
+   post-close writes must be silent no-ops.  One domain hammers writes
+   while this one closes mid-stream; every line that did land must still
+   be complete JSON. *)
+let test_journal_close_write_race () =
+  with_temp_journal (fun path ->
+      let module Json = Nncs_obs.Json in
+      let w = Journal.create path in
+      let landed = Atomic.make 0 in
+      let writer =
+        Domain.spawn (fun () ->
+            try
+              for i = 0 to 4999 do
+                Journal.write w (Json.Obj [ ("i", Json.Num (float_of_int i)) ]);
+                Atomic.incr landed
+              done;
+              true
+            with _ -> false)
+      in
+      (* let some writes land, then slam the journal shut under it *)
+      while Atomic.get landed < 32 do
+        Domain.cpu_relax ()
+      done;
+      Journal.close w;
+      let survived = Domain.join writer in
+      check "no write raised across the close" true survived;
+      Journal.close w (* idempotent *);
+      Journal.write w (Json.Obj [ ("i", Json.Num (-1.0)) ]);
+      let bad = ref 0 in
+      let records = Journal.load ~on_malformed:(fun ~line:_ _ -> incr bad) path in
+      Alcotest.(check int) "no torn lines" 0 !bad;
+      check "pre-close writes persisted" true (List.length records >= 32);
+      check "post-close write was a no-op" true
+        (List.for_all
+           (fun j -> Option.map Json.to_int (Json.member "i" j) <> Some (-1))
+           records))
+
 let () =
   Alcotest.run "resilience"
     [
@@ -598,5 +636,7 @@ let () =
             test_journal_tolerates_truncated_tail;
           Alcotest.test_case "malformed mid-file line skipped" `Quick
             test_journal_skips_malformed_mid_file;
+          Alcotest.test_case "close/write race" `Quick
+            test_journal_close_write_race;
         ] );
     ]

@@ -126,6 +126,17 @@ let test_request_roundtrip () =
         (j.P.cells
         = P.Partition { arcs = 12; headings = 4; arc_indices = [ 3; 7 ] })
   | Ok _ | Error _ -> Alcotest.fail "partition job did not round-trip");
+  (match
+     reparse
+       (P.Lookup
+          { id = "l1"; box = B.of_bounds [| (0.5, 1.0); (2.0, 3.0) |]; cmd = 3 })
+   with
+  | Ok (P.Lookup { id; box; cmd }) ->
+      Alcotest.(check string) "lookup id" "l1" id;
+      Alcotest.(check int) "lookup cmd" 3 cmd;
+      check "lookup box round-trips" true
+        (boxes_equal box (B.of_bounds [| (0.5, 1.0); (2.0, 3.0) |]))
+  | Ok _ | Error _ -> Alcotest.fail "lookup did not round-trip");
   check "stats round-trips" true (reparse P.Stats = Ok P.Stats);
   check "shutdown round-trips" true (reparse P.Shutdown = Ok P.Shutdown)
 
@@ -178,6 +189,10 @@ let test_event_roundtrip () =
           total_cells = 8;
           elapsed_s = 0.0;
         };
+      P.Lookup_result { id = "l1"; status = P.Lookup_unsafe { k = 4 } };
+      P.Lookup_result { id = "l2"; status = P.Lookup_safe };
+      P.Lookup_result { id = "l3"; status = P.Lookup_out_of_domain };
+      P.Lookup_result { id = "l4"; status = P.Lookup_unavailable };
       P.Job_error { id = ""; reason = "unparseable line" };
       P.Stats_report (J.Obj [ ("jobs", J.Num 2.0) ]);
       P.Bye;
@@ -726,7 +741,8 @@ let test_memo_duplicate_store_skipped () =
 
 (* ----- the JSONL session loop ----- *)
 
-let run_session ?(dispatchers = 2) ?max_queue ?max_line_bytes lines =
+let run_session ?(dispatchers = 2) ?max_queue ?max_line_bytes ?backreach lines
+    =
   let in_path = Filename.temp_file "nncs_serve_in" ".jsonl" in
   let out_path = Filename.temp_file "nncs_serve_out" ".jsonl" in
   Fun.protect
@@ -747,6 +763,7 @@ let run_session ?(dispatchers = 2) ?max_queue ?max_line_bytes lines =
             max_line_bytes =
               Option.value max_line_bytes
                 ~default:Server.default_config.Server.max_line_bytes;
+            backreach;
           }
           ~make_system:(fun ~domain:_ ~nn_splits:_ -> homing_system ())
           ~make_cells:(fun ~arcs ~headings:_ ~arc_indices:_ ->
@@ -1029,6 +1046,101 @@ let test_session_line_cap () =
   | [ _ ] -> ()
   | _ -> Alcotest.fail "the job after the oversized line must still run"
 
+(* ----- the backreach lookup fast path ----- *)
+
+let homing_backreach_table () =
+  let module Backreach = Nncs_backreach.Backreach in
+  Backreach.build
+    {
+      (Backreach.default_config
+         ~domain:(B.of_bounds [| (0.0, 4.5) |])
+         ~grid:[| 9 |])
+      with
+      Backreach.reach = { Nncs.Reach.default_config with keep_sets = false };
+    }
+    (homing_system ())
+
+let test_session_lookup_fast_path () =
+  let module Backreach = Nncs_backreach.Backreach in
+  let table = homing_backreach_table () in
+  let m_lookups = Metrics.counter "serve.lookups" in
+  let lookups0 = Metrics.value m_lookups in
+  let outcome, events =
+    run_session ~dispatchers:1 ~backreach:table
+      [
+        (* the same hot probe twice: both must be answered from the
+           table, neither may found a job *)
+        {|{"t":"lookup","id":"hot","box":[[4.25,4.5]],"cmd":0}|};
+        {|{"t":"lookup","id":"hot2","box":[[4.25,4.5]],"cmd":0}|};
+        {|{"t":"lookup","id":"cold","box":[[0.05,0.2]],"cmd":0}|};
+        {|{"t":"lookup","id":"gone","box":[[9.0,9.5]],"cmd":0}|};
+        {|{"t":"job","id":"s1","partition":{"arcs":4,"headings":1}}|};
+        {|{"t":"stats"}|};
+        {|{"t":"shutdown"}|};
+      ]
+  in
+  check "shutdown ends the session" true (outcome = `Shutdown);
+  let status_of id =
+    match
+      List.filter_map
+        (function
+          | P.Lookup_result { id = id'; status } when id' = id -> Some status
+          | _ -> None)
+        events
+    with
+    | [ s ] -> s
+    | _ -> Alcotest.fail ("expected exactly one lookup_result for " ^ id)
+  in
+  (* the cell overlapping E (x > 4.0) is a contact; with both commands
+     strictly negative nothing below ever climbs back up; the last probe
+     leaves the [0, 4.5] table domain *)
+  check "contact probe is unsafe" true
+    (match status_of "hot" with P.Lookup_unsafe _ -> true | _ -> false);
+  check "repeated probe answers identically" true
+    (status_of "hot" = status_of "hot2");
+  check "low probe is safe" true (status_of "cold" = P.Lookup_safe);
+  check "escaped probe is out of domain" true
+    (status_of "gone" = P.Lookup_out_of_domain);
+  (* the fast path never enters the run path: the only job events of the
+     session belong to s1 — four lookups produced no accepted/progress
+     and no extra verdicts *)
+  Alcotest.(check int)
+    "one accepted event (the real job)" 1
+    (List.length
+       (List.filter (function P.Accepted _ -> true | _ -> false) events));
+  Alcotest.(check int)
+    "one verdict event (the real job)" 1
+    (List.length (List.filter_map verdict_payload events));
+  check "the real job still runs" true
+    ((find_verdict events).vid = "s1");
+  Alcotest.(check int)
+    "every lookup counted by serve.lookups" 4
+    (Metrics.value m_lookups - lookups0);
+  (* stats advertises the table *)
+  check "stats reports the table" true
+    (List.exists
+       (function
+         | P.Stats_report (J.Obj fields) ->
+             List.assoc_opt "backreach_table" fields = Some (J.Bool true)
+         | _ -> false)
+       events)
+
+let test_session_lookup_unavailable () =
+  let outcome, events =
+    run_session ~dispatchers:1
+      [
+        {|{"t":"lookup","id":"l0","box":[[1.0,2.0]],"cmd":0}|};
+        {|{"t":"shutdown"}|};
+      ]
+  in
+  check "shutdown ends the session" true (outcome = `Shutdown);
+  check "tableless server answers unavailable" true
+    (List.exists
+       (function
+         | P.Lookup_result { id = "l0"; status = P.Lookup_unavailable } -> true
+         | _ -> false)
+       events)
+
 let () =
   Alcotest.run "serve"
     [
@@ -1084,5 +1196,9 @@ let () =
             test_session_duplicate_id_rejected;
           Alcotest.test_case "overload shed" `Quick test_session_overload_shed;
           Alcotest.test_case "line cap" `Quick test_session_line_cap;
+          Alcotest.test_case "backreach lookup fast path" `Quick
+            test_session_lookup_fast_path;
+          Alcotest.test_case "lookup without a table" `Quick
+            test_session_lookup_unavailable;
         ] );
     ]
